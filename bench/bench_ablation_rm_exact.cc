@@ -1,0 +1,54 @@
+// Ablation: the paper's static RM scaling uses a SUFFICIENT (pessimistic)
+// schedulability test (Figure 1). Exact response-time analysis admits more
+// task sets at lower frequencies — how much energy does the pessimism cost?
+// (The paper flags the O(n^2) test cost as the reason ccRM avoids
+// re-running it online; this quantifies the static-side gap.)
+#include <iostream>
+#include <memory>
+
+#include "src/core/sweep.h"
+#include "src/util/flags.h"
+
+namespace rtdvs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t tasksets = 40;
+  int64_t sim_ms = 4000;
+  FlagSet flags("Ablation: sufficient vs exact RM schedulability test in "
+                "static voltage scaling.");
+  flags.AddInt64("tasksets", &tasksets, "random task sets per point");
+  flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  SweepOptions options;
+  options.policy_ids = {"static_rm", "static_rm_exact", "static_edf"};
+  options.utilizations = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  options.num_tasks = 8;
+  options.tasksets_per_point = static_cast<int>(tasksets);
+  options.horizon_ms = static_cast<double>(sim_ms);
+  options.machine = MachineSpec::Machine2();  // dense grid shows the gap best
+  options.exec_model_factory = [] {
+    return std::make_unique<ConstantFractionModel>(1.0);
+  };
+  options.seed = 0xe8ac7;
+
+  UtilizationSweep sweep(options);
+  auto rows = sweep.Run();
+  std::cout << "== Ablation: static RM scaling, sufficient vs exact test "
+               "(machine 2, worst-case execution, EDF-normalized) ==\n";
+  TextTable table = sweep.ToTable(rows, /*normalized=*/true);
+  table.Print(std::cout);
+  table.PrintCsv(std::cout, "csv,ablation_rm_exact");
+  std::cout << "deadline misses (must be zero everywhere — the exact test is "
+               "still a guarantee):\n";
+  sweep.MissTable(rows).Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtdvs
+
+int main(int argc, char** argv) { return rtdvs::Main(argc, argv); }

@@ -1,0 +1,100 @@
+// Extension bench (footnote 1): aperiodic service through periodic /
+// deferrable servers under RT-DVS. Sweeps the server bandwidth and reports
+// aperiodic response time, backlog, periodic misses (must stay zero) and
+// energy — the provisioning tradeoff a system designer actually turns.
+#include <iostream>
+#include <memory>
+
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/taskset_generator.h"
+#include "src/sim/simulator.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace rtdvs {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t tasksets = 20;
+  int64_t sim_ms = 10'000;
+  FlagSet flags("Extension: aperiodic servers under RT-DVS — bandwidth vs "
+                "response time vs energy.");
+  flags.AddInt64("tasksets", &tasksets, "random periodic task sets");
+  flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  TextTable table({"server", "U_s", "mean resp ms", "max resp ms", "backlog",
+                   "periodic misses", "energy vs EDF"});
+
+  TaskSetGeneratorOptions gen_options;
+  gen_options.num_tasks = 5;
+  gen_options.target_utilization = 0.5;  // leaves room for the server
+
+  for (ServerKind kind :
+       {ServerKind::kPolling, ServerKind::kDeferrable, ServerKind::kCbs}) {
+    for (double server_util : {0.1, 0.2, 0.3}) {
+      RunningStats mean_resp, max_resp, backlog, normalized;
+      int64_t misses = 0;
+      Pcg32 master(0x5e2f);
+      TaskSetGenerator generator(gen_options);
+      for (int64_t s = 0; s < tasksets; ++s) {
+        Pcg32 rng = master.Fork();
+        TaskSet tasks = generator.Generate(rng);
+        SimOptions options;
+        options.horizon_ms = static_cast<double>(sim_ms);
+        options.seed = rng.NextU32();
+        options.aperiodic.kind = kind;
+        options.aperiodic.period_ms = 20.0;
+        options.aperiodic.budget_ms = server_util * 20.0;
+        options.aperiodic.arrivals.mean_interarrival_ms = 40.0;
+        options.aperiodic.arrivals.mean_service_ms = 2.0;
+        options.aperiodic.arrivals.max_service_ms = 8.0;
+
+        auto edf = MakePolicy("edf");
+        ConstantFractionModel edf_model(0.8);
+        double edf_energy =
+            RunSimulation(tasks, MachineSpec::Machine0(), *edf, edf_model, options)
+                .total_energy();
+        auto policy = MakePolicy("cc_edf");
+        ConstantFractionModel model(0.8);
+        SimResult result =
+            RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+        mean_resp.Add(result.aperiodic.MeanResponseMs());
+        max_resp.Add(result.aperiodic.max_response_ms);
+        backlog.Add(result.aperiodic.backlog_work);
+        normalized.Add(result.total_energy() / edf_energy);
+        misses += result.deadline_misses;
+      }
+      const char* kind_name = kind == ServerKind::kPolling      ? "polling"
+                              : kind == ServerKind::kDeferrable ? "deferrable"
+                                                                : "CBS";
+      table.AddRow({kind_name,
+                    FormatDouble(server_util, 2), FormatDouble(mean_resp.mean(), 2),
+                    FormatDouble(max_resp.mean(), 2), FormatDouble(backlog.mean(), 2),
+                    StrFormat("%lld", static_cast<long long>(misses)),
+                    FormatDouble(normalized.mean(), 4)});
+    }
+  }
+
+  std::cout << "== Extension: aperiodic servers under ccEDF "
+               "(5 periodic tasks at U=0.5, Poisson arrivals ~0.05 work/ms) ==\n";
+  table.Print(std::cout);
+  table.PrintCsv(std::cout, "csv,ablation_server");
+  std::cout
+      << "(polling and CBS must show zero periodic misses. The deferrable\n"
+         " server's back-to-back budget bursts exceed periodic-task\n"
+         " interference — the classic DS penalty — which is exactly what the\n"
+         " CBS deadline-postponement rule repairs while keeping immediate\n"
+         " response to arrivals.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtdvs
+
+int main(int argc, char** argv) { return rtdvs::Main(argc, argv); }

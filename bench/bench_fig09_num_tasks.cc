@@ -1,0 +1,29 @@
+// Figure 9: absolute energy consumption vs. worst-case utilization for task
+// sets of 5, 10 and 15 tasks (machine 0, perfect halt, tasks consume their
+// full worst case). Paper finding: utilization dominates; the number of
+// tasks has very little effect, and laEDF tracks the theoretical bound.
+#include "bench/sweep_main.h"
+
+int main(int argc, char** argv) {
+  rtdvs::SweepBenchFlags flags;
+  if (!rtdvs::ParseSweepFlags(argc, argv,
+                              "Reproduces Figure 9: energy vs utilization for "
+                              "5, 10 and 15 tasks.",
+                              &flags)) {
+    return 1;
+  }
+  for (int num_tasks : {5, 10, 15}) {
+    rtdvs::SweepBenchConfig config;
+    config.title = rtdvs::StrFormat("Figure 9: %d tasks", num_tasks);
+    config.csv_tag = rtdvs::StrFormat("fig9_n%d", num_tasks);
+    config.normalized = false;  // the paper plots absolute energy here
+    config.options.num_tasks = num_tasks;
+    config.options.idle_level = 0.0;
+    config.options.exec_model_factory = [] {
+      return std::make_unique<rtdvs::ConstantFractionModel>(1.0);
+    };
+    rtdvs::ApplySweepFlags(flags, &config.options);
+    rtdvs::RunAndPrintSweep(config);
+  }
+  return 0;
+}

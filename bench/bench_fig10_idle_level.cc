@@ -1,0 +1,29 @@
+// Figure 10: EDF-normalized energy vs. utilization at idle-level factors
+// 0.01, 0.1 and 1.0 (8 tasks, machine 0, worst-case execution). Paper
+// findings: large savings even with a perfect halt; as idle cycles get more
+// expensive the dynamic algorithms (which drop to the lowest voltage when
+// idling) pull further ahead of the statically-scaled ones.
+#include "bench/sweep_main.h"
+
+int main(int argc, char** argv) {
+  rtdvs::SweepBenchFlags flags;
+  if (!rtdvs::ParseSweepFlags(argc, argv,
+                              "Reproduces Figure 10: normalized energy at idle "
+                              "levels 0.01, 0.1 and 1.0.",
+                              &flags)) {
+    return 1;
+  }
+  for (double idle_level : {0.01, 0.1, 1.0}) {
+    rtdvs::SweepBenchConfig config;
+    config.title = rtdvs::StrFormat("Figure 10: 8 tasks, idle level %.2f", idle_level);
+    config.csv_tag = rtdvs::StrFormat("fig10_idle%.2f", idle_level);
+    config.options.num_tasks = 8;
+    config.options.idle_level = idle_level;
+    config.options.exec_model_factory = [] {
+      return std::make_unique<rtdvs::ConstantFractionModel>(1.0);
+    };
+    rtdvs::ApplySweepFlags(flags, &config.options);
+    rtdvs::RunAndPrintSweep(config);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 11: EDF-normalized energy vs. utilization on machines 0, 1 and 2
+// (8 tasks, perfect halt, worst-case execution). Paper findings: available
+// frequency/voltage settings matter profoundly; with machine 2's dense grid
+// and narrow voltage range, ccEDF ~matches the bound and even beats laEDF.
+#include "bench/sweep_main.h"
+
+int main(int argc, char** argv) {
+  rtdvs::SweepBenchFlags flags;
+  if (!rtdvs::ParseSweepFlags(argc, argv,
+                              "Reproduces Figure 11: normalized energy on "
+                              "machine specs 0, 1 and 2.",
+                              &flags)) {
+    return 1;
+  }
+  const rtdvs::MachineSpec machines[] = {rtdvs::MachineSpec::Machine0(),
+                                         rtdvs::MachineSpec::Machine1(),
+                                         rtdvs::MachineSpec::Machine2()};
+  for (const auto& machine : machines) {
+    rtdvs::SweepBenchConfig config;
+    config.title = "Figure 11: 8 tasks, " + machine.name();
+    config.csv_tag = "fig11_" + machine.name();
+    config.options.num_tasks = 8;
+    config.options.machine = machine;
+    config.options.exec_model_factory = [] {
+      return std::make_unique<rtdvs::ConstantFractionModel>(1.0);
+    };
+    rtdvs::ApplySweepFlags(flags, &config.options);
+    rtdvs::RunAndPrintSweep(config);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 12: EDF-normalized energy when every invocation consumes a constant
+// 90%, 70% or 50% of its worst case (8 tasks, machine 0, perfect halt).
+// Paper findings: static scaling is unaffected (it only sees worst cases);
+// ccRM barely adapts; ccEDF and laEDF improve sharply as actual computation
+// shrinks.
+#include "bench/sweep_main.h"
+
+int main(int argc, char** argv) {
+  rtdvs::SweepBenchFlags flags;
+  if (!rtdvs::ParseSweepFlags(argc, argv,
+                              "Reproduces Figure 12: normalized energy with "
+                              "actual computation = 0.9/0.7/0.5 of worst case.",
+                              &flags)) {
+    return 1;
+  }
+  for (double fraction : {0.9, 0.7, 0.5}) {
+    rtdvs::SweepBenchConfig config;
+    config.title = rtdvs::StrFormat("Figure 12: 8 tasks, c = %.1f", fraction);
+    config.csv_tag = rtdvs::StrFormat("fig12_c%.1f", fraction);
+    config.options.num_tasks = 8;
+    config.options.exec_model_factory = [fraction] {
+      return std::make_unique<rtdvs::ConstantFractionModel>(fraction);
+    };
+    rtdvs::ApplySweepFlags(flags, &config.options);
+    rtdvs::RunAndPrintSweep(config);
+  }
+  return 0;
+}

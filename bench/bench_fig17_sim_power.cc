@@ -1,0 +1,34 @@
+// Figure 17: the simulation counterpart of Figure 16 — identical parameters
+// (5 tasks, c = 0.9, the 2-voltage-level K6 machine specification) run on
+// the abstract simulator, which reports processor energy only. The paper's
+// point: "except for the addition of constant overheads in the actual
+// measurements, the results are nearly identical", validating the
+// simulator. Compare this bench's CSV with bench_fig16's: fig16 watts ~=
+// base + k * fig17 power.
+#include "bench/sweep_main.h"
+
+int main(int argc, char** argv) {
+  rtdvs::SweepBenchFlags flags;
+  flags.tasksets = 10;
+  if (!rtdvs::ParseSweepFlags(argc, argv,
+                              "Reproduces Figure 17: simulated processor power "
+                              "with Figure 16's parameters.",
+                              &flags)) {
+    return 1;
+  }
+  rtdvs::SweepBenchConfig config;
+  config.title = "Figure 17: simulated platform, 5 tasks, c = 0.9";
+  config.csv_tag = "fig17";
+  config.normalized = false;  // absolute power, arbitrary units
+  config.options.num_tasks = 5;
+  config.options.machine = rtdvs::MachineSpec::K6TwoPointFour();
+  config.options.policy_ids = {"edf", "static_rm", "cc_edf", "la_edf"};
+  config.options.utilizations = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  config.options.exec_model_factory = [] {
+    return std::make_unique<rtdvs::ConstantFractionModel>(0.9);
+  };
+  config.options.seed = 0xf17;
+  rtdvs::ApplySweepFlags(flags, &config.options);
+  rtdvs::RunAndPrintSweep(config);
+  return 0;
+}

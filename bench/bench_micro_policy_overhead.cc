@@ -1,0 +1,94 @@
+// Micro-benchmark (google-benchmark): CPU cost of one scheduling-point
+// policy invocation, vs task-set size.
+//
+// §2.6: "All of the RT-DVS algorithms ... do not require significant
+// processing costs. The dynamic schemes all require O(n) computation
+// (assuming the scheduler provides an EDF sorted task list)". Our laEDF
+// re-sorts, so it is O(n log n); this bench makes the constants and the
+// scaling visible.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "src/dvs/policy.h"
+#include "src/rt/task.h"
+#include "src/util/random.h"
+
+namespace rtdvs {
+namespace {
+
+// A SpeedController that just records the request.
+class NullSpeed : public SpeedController {
+ public:
+  void SetOperatingPoint(const OperatingPoint& point) override { point_ = point; }
+  const OperatingPoint& current() const override { return point_; }
+
+ private:
+  OperatingPoint point_{1.0, 5.0};
+};
+
+struct Fixture {
+  TaskSet tasks;
+  MachineSpec machine = MachineSpec::Machine2();
+  PolicyContext ctx;
+
+  explicit Fixture(int n) {
+    Pcg32 rng(42);
+    for (int i = 0; i < n; ++i) {
+      double period = rng.UniformDouble(5.0, 500.0);
+      tasks.AddTask({"", period, 0.4 * period / n, 0.0});
+    }
+    ctx.now_ms = 1.0;
+    ctx.tasks = &tasks;
+    ctx.machine = &machine;
+    ctx.views.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& view = ctx.views[static_cast<size_t>(i)];
+      view.has_active_job = (i % 2) == 0;
+      view.next_deadline_ms = 1.0 + tasks.task(i).period_ms;
+      view.worst_case_remaining = view.has_active_job ? tasks.task(i).wcet_ms : 0.0;
+      view.last_actual_work = 0.5 * tasks.task(i).wcet_ms;
+      view.cumulative_executed = 0.0;
+    }
+  }
+};
+
+void BM_SchedulingPoint(benchmark::State& state, const std::string& policy_id) {
+  Fixture fixture(static_cast<int>(state.range(0)));
+  auto policy = MakePolicy(policy_id);
+  NullSpeed speed;
+  policy->OnStart(fixture.ctx, speed);
+  int task_id = 0;
+  for (auto _ : state) {
+    policy->OnTaskCompletion(task_id, fixture.ctx, speed);
+    policy->OnTaskRelease(task_id, fixture.ctx, speed);
+    task_id = (task_id + 1) % fixture.tasks.size();
+    benchmark::DoNotOptimize(speed.current());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // two scheduling points
+}
+
+void RegisterAll() {
+  for (const char* id : {"cc_edf", "cc_rm", "la_edf"}) {
+    benchmark::RegisterBenchmark((std::string("scheduling_point/") + id).c_str(),
+                                 [id](benchmark::State& state) {
+                                   BM_SchedulingPoint(state, id);
+                                 })
+        ->Arg(4)
+        ->Arg(8)
+        ->Arg(16)
+        ->Arg(32)
+        ->Arg(64);
+  }
+}
+
+}  // namespace
+}  // namespace rtdvs
+
+int main(int argc, char** argv) {
+  rtdvs::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 1: power consumption of the Hewlett-Packard N3350 laptop.
+//
+// Our platform substitutes a calibrated power model for the physical
+// oscilloscope rig (see DESIGN.md); this bench prints the model's
+// reproduction of Table 1 plus the derived per-operating-point system
+// power, which feeds Figure 16.
+#include <iostream>
+
+#include "src/platform/k6_cpu.h"
+#include "src/platform/system_power.h"
+#include "src/util/table.h"
+
+int main() {
+  rtdvs::SystemPowerModel model;
+  std::cout << "Table 1 (model reproduction):\n" << model.Table1() << "\n";
+
+  std::cout << "Derived system power at each K6-2+ operating point "
+               "(screen off, disk standby):\n";
+  rtdvs::TextTable table({"MHz", "V", "active W", "halted W"});
+  for (double mhz : rtdvs::K6Cpu::FrequencyTableMhz()) {
+    double volts = rtdvs::K6Cpu::IsStable(mhz, 1.4) ? 1.4 : 2.0;
+    table.AddRow({rtdvs::FormatDouble(mhz, 0), rtdvs::FormatDouble(volts, 1),
+                  rtdvs::FormatDouble(model.ActiveWatts(mhz, volts), 2),
+                  rtdvs::FormatDouble(model.HaltedWatts(), 2)});
+  }
+  table.Print(std::cout);
+  table.PrintCsv(std::cout, "csv,table1");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Tables 2-4 and Figures 2, 3, 5, 7: the paper's worked example.
+//
+// Runs the 3-task example set (Table 2) with the actual execution times of
+// Table 3 on machine 0 for 16 ms under every algorithm, prints the ASCII
+// execution trace (the paper's Figures 2/3/5/7) and the normalized energy
+// table (Table 4). These numbers reproduce exactly; see
+// tests/core/paper_example_test.cc for the pinned values.
+#include <iostream>
+#include <memory>
+
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/task.h"
+#include "src/sim/simulator.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace rtdvs {
+namespace {
+
+std::unique_ptr<ExecTimeModel> Table3Model() {
+  // Table 3: per-invocation actual computation (ms at full speed):
+  //   T1: 2 then 1 (C=3);  T2: 1, 1 (C=3);  T3: 1, 1 (C=1).
+  return std::make_unique<TableFractionModel>(std::vector<std::vector<double>>{
+      {2.0 / 3.0, 1.0 / 3.0}, {1.0 / 3.0, 1.0 / 3.0}, {1.0, 1.0}});
+}
+
+int Main(int argc, char** argv) {
+  bool show_traces = true;
+  FlagSet flags("Reproduces Table 4 (and the example traces of Figures 2/3/5/7).");
+  flags.AddBool("traces", &show_traces, "print per-policy ASCII execution traces");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  TaskSet tasks = TaskSet::PaperExample();
+  std::cout << "Task set (Table 2): " << tasks.ToString() << "\n";
+  std::cout << "Machine: " << MachineSpec::Machine0().ToString() << "\n\n";
+
+  TextTable table({"RT-DVS method", "energy", "normalized"});
+  double edf_energy = 0;
+  for (const auto& id : AllPaperPolicyIds()) {
+    auto policy = MakePolicy(id);
+    auto model = Table3Model();
+    SimOptions options;
+    options.horizon_ms = 16.0;
+    options.record_trace = true;
+    SimResult result =
+        RunSimulation(tasks, MachineSpec::Machine0(), *policy, *model, options);
+    if (id == "edf") {
+      edf_energy = result.total_energy();
+    }
+    table.AddRow({result.policy_name, FormatDouble(result.total_energy(), 2),
+                  FormatDouble(result.total_energy() / edf_energy, 2)});
+    if (show_traces) {
+      std::cout << "--- " << result.policy_name << " (first 16 ms) ---\n"
+                << result.trace.RenderGantt(tasks, 64, 16.0) << "\n";
+    }
+  }
+  std::cout << "Table 4: normalized energy consumption for the example traces\n";
+  table.Print(std::cout);
+  table.PrintCsv(std::cout, "csv,table4");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtdvs
+
+int main(int argc, char** argv) { return rtdvs::Main(argc, argv); }

@@ -1,0 +1,84 @@
+// Shared main() helper for the figure-reproduction benches: parses the
+// common flags, runs one utilization sweep per configuration, and prints
+// both the aligned table and greppable CSV, exactly one configuration per
+// section — mirroring the paper's multi-panel figures.
+#ifndef BENCH_SWEEP_MAIN_H_
+#define BENCH_SWEEP_MAIN_H_
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sweep.h"
+#include "src/util/flags.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+struct SweepBenchConfig {
+  std::string title;      // e.g. "Figure 9, 5 tasks"
+  std::string csv_tag;    // e.g. "fig9_n5"
+  SweepOptions options;
+  bool normalized = true;  // print EDF-normalized energy (false: absolute)
+};
+
+struct SweepBenchFlags {
+  int64_t tasksets = 50;
+  int64_t sim_ms = 5000;
+  bool quick = false;  // 10 task sets, coarse grid: CI-friendly smoke run
+};
+
+// Parses common flags; returns false if the program should exit.
+inline bool ParseSweepFlags(int argc, char** argv, const std::string& description,
+                            SweepBenchFlags* flags) {
+  FlagSet flag_set(description);
+  flag_set.AddInt64("tasksets", &flags->tasksets,
+                    "random task sets per utilization point");
+  flag_set.AddInt64("sim-ms", &flags->sim_ms, "simulated horizon per run (ms)");
+  flag_set.AddBool("quick", &flags->quick, "coarse smoke-test configuration");
+  return flag_set.Parse(argc, argv);
+}
+
+inline void ApplySweepFlags(const SweepBenchFlags& flags, SweepOptions* options) {
+  options->tasksets_per_point = static_cast<int>(flags.tasksets);
+  options->horizon_ms = static_cast<double>(flags.sim_ms);
+  if (flags.quick) {
+    options->tasksets_per_point = 10;
+    options->horizon_ms = 1000.0;
+    options->utilizations = {0.1, 0.3, 0.5, 0.7, 0.9};
+  }
+}
+
+inline void RunAndPrintSweep(const SweepBenchConfig& config) {
+  UtilizationSweep sweep(config.options);
+  auto rows = sweep.Run();
+  std::cout << "== " << config.title << " ==\n";
+  std::cout << "machine: " << config.options.machine.ToString() << "\n";
+  std::cout << (config.normalized ? "energy normalized to plain EDF\n"
+                                  : "energy (arbitrary units per simulated second)\n");
+  TextTable table = sweep.ToTable(rows, config.normalized);
+  table.Print(std::cout);
+  table.PrintCsv(std::cout, "csv," + config.csv_tag);
+  // Deadline misses are part of the claim: RT-DVS must not trade deadlines
+  // for energy. Print only if something missed.
+  bool any_miss = false;
+  for (const auto& row : rows) {
+    for (const auto& cell : row.cells) {
+      any_miss = any_miss || cell.deadline_misses > 0;
+    }
+  }
+  if (any_miss) {
+    std::cout << "deadline misses (nonzero somewhere -- RM-based policies are "
+                 "only guaranteed when the RM test admits the set):\n";
+    sweep.MissTable(rows).Print(std::cout);
+  } else {
+    std::cout << "deadline misses: none under any policy\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace rtdvs
+
+#endif  // BENCH_SWEEP_MAIN_H_

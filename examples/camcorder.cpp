@@ -1,0 +1,78 @@
+// The camcorder controller from the paper's introduction (§2.2):
+//
+//   "suppose there is a program that must react to a change in a sensor
+//    reading within a 5 ms deadline, and that it requires up to 3 ms of
+//    computation time with the processor running at the maximum operating
+//    frequency. With a DVS algorithm that reacts only to average throughput,
+//    if the total load on the system is low, the processor would be set to
+//    operate at a low frequency, say half of the maximum, and the task, now
+//    requiring 6 ms of processor time, cannot meet its 5 ms deadline."
+//
+// This example builds that controller — a sensor-reaction task plus video
+// pipeline tasks with bursty actual demand — and runs it under (a) the
+// average-throughput interval governor and (b) the RT-DVS policies. The
+// interval governor saves energy AND blows deadlines; RT-DVS saves
+// comparable energy with zero misses.
+#include <iostream>
+#include <memory>
+
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/interval_policy.h"
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/task.h"
+#include "src/sim/simulator.h"
+
+int main() {
+  using namespace rtdvs;
+
+  TaskSet tasks;
+  // The motivating task: 3 ms worst case against a 5 ms deadline. It only
+  // occasionally needs the full 3 ms (a sensor event), which is exactly
+  // what lures a throughput governor into a low frequency.
+  tasks.AddTask({"sensor", 5.0, 3.0});
+  // 30 fps video pipeline stages (worst-case utilization stays below 1, so
+  // EDF-based policies are provably miss-free here).
+  tasks.AddTask({"capture", 33.0, 5.0});
+  tasks.AddTask({"encode", 33.0, 8.0});
+
+  MachineSpec machine = MachineSpec::Machine0();
+  SimOptions options;
+  options.horizon_ms = 30'000.0;
+  options.idle_level = 0.05;
+  // A camcorder drops the frame rather than stalling the pipeline:
+  options.miss_policy = MissPolicy::kAbortJob;
+
+  // Mostly-idle sensor handling with occasional worst-case spikes; the
+  // video stages hover around 70% of worst case.
+  auto make_model = [] {
+    return std::make_unique<BimodalFractionModel>(/*typical_fraction=*/0.35,
+                                                  /*spike_probability=*/0.08);
+  };
+
+  std::cout << "Camcorder controller: " << tasks.ToString() << "\n";
+  std::cout << "U_worst = " << tasks.TotalUtilization() << "\n\n";
+  std::cout << "policy            energy   vs EDF   deadline misses\n";
+  std::cout << "----------------------------------------------------\n";
+
+  double edf_energy = 0;
+  for (const std::string id : {"edf", "interval", "cc_edf", "la_edf"}) {
+    auto policy = MakePolicy(id);
+    auto model = make_model();
+    SimResult result = RunSimulation(tasks, machine, *policy, *model, options);
+    if (id == "edf") {
+      edf_energy = result.total_energy();
+    }
+    std::printf("%-16s %8.0f   %5.2f   %8lld %s\n", result.policy_name.c_str(),
+                result.total_energy(), result.total_energy() / edf_energy,
+                static_cast<long long>(result.deadline_misses),
+                result.deadline_misses > 0 ? "<-- dropped frames / late reactions"
+                                           : "");
+  }
+
+  std::cout << "\nThe interval governor tracks average load and undershoots "
+               "exactly when\na worst-case sensor event lands; the RT-DVS "
+               "policies reserve for the worst\ncase by construction and "
+               "never miss (§2.2 of the paper).\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// A user-level, non-real-time DVS "demon" (§4.2):
+//
+//   "The PowerNow! module also provides a /procfs interface. This will
+//    allow for a user-level, non-RT DVS demon, implementing algorithms
+//    found in other DVS literature, or to manually deal with operating
+//    frequency and voltage through simple Unix shell commands."
+//
+// This example implements a Weiser-style utilization-feedback governor
+// entirely in "user space": it reads the kernel's /proc/rtdvs/stats to
+// estimate recent processor utilization and writes target frequencies to
+// /proc/powernow/ctl — no kernel scheduler integration at all. It tracks
+// load nicely and saves energy, but (as §2.2 predicts) it cannot promise
+// deadlines: the run reports the misses it caused.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/platform/k6_cpu.h"
+#include "src/rt/exec_time_model.h"
+#include "src/util/strings.h"
+
+namespace {
+
+// Parses one "key value" line out of /proc/rtdvs/stats.
+double StatValue(const std::string& stats, const std::string& key) {
+  for (const auto& line : rtdvs::Split(stats, '\n')) {
+    auto fields = rtdvs::Split(line, ' ');
+    if (fields.size() == 2 && fields[0] == key) {
+      return rtdvs::ParseDouble(fields[1]).value_or(0.0);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rtdvs;
+
+  KernelOptions options;
+  Kernel kernel(options);
+  // No RT scheduler/DVS module loaded: plain EDF at whatever frequency the
+  // daemon last wrote. The daemon is the only thing scaling the CPU.
+  kernel.LoadPolicy(nullptr);
+
+  {
+    // The §2.2 sensor task: usually light, occasionally needs its full 3 ms
+    // of computation — precisely what fools an average-based governor.
+    KernelTaskParams sensor;
+    sensor.name = "sensor";
+    sensor.period_ms = 5.0;
+    sensor.wcet_ms = 3.0;
+    sensor.exec_model = std::make_unique<BimodalFractionModel>(
+        /*typical_fraction=*/0.25, /*spike_probability=*/0.05);
+    kernel.RegisterTask(std::move(sensor));
+
+    KernelTaskParams render;
+    render.name = "render";
+    render.period_ms = 40.0;
+    render.wcet_ms = 10.0;
+    render.exec_model = std::make_unique<ConstantFractionModel>(0.5);
+    kernel.RegisterTask(std::move(render));
+  }
+
+  const double kWindowMs = 50.0;
+  double last_busy = 0.0;
+  double predicted = 1.0;
+  std::printf("%-8s %-10s %-8s %-8s\n", "t(ms)", "util", "freq", "misses");
+  for (double t = kWindowMs; t <= 10'000.0; t += kWindowMs) {
+    kernel.RunUntil(t);
+    std::string stats = *kernel.procfs().Read("/proc/rtdvs/stats");
+    double busy = StatValue(stats, "busy_ms");
+    double misses = StatValue(stats, "misses");
+    double utilization = (busy - last_busy) / kWindowMs;
+    last_busy = busy;
+    predicted = 0.5 * predicted + 0.5 * utilization;
+
+    // Pick the lowest PLL frequency covering the predicted load.
+    double current_mhz = kernel.cpu().frequency_mhz();
+    double needed_mhz = predicted * current_mhz / 1.0;
+    double target = K6Cpu::kMaxRatedMhz;
+    for (double mhz : K6Cpu::FrequencyTableMhz()) {
+      if (mhz >= needed_mhz * 1.1) {  // 10% headroom
+        target = mhz;
+        break;
+      }
+    }
+    kernel.procfs().Write("/proc/powernow/ctl", StrFormat("%g", target));
+    if (static_cast<long>(t) % 1000 == 0) {
+      std::printf("%-8.0f %-10.3f %-8.0f %-8.0f\n", t, utilization,
+                  kernel.cpu().frequency_mhz(), misses);
+    }
+  }
+
+  KernelReport report = kernel.Report();
+  std::printf("\nuser-level governor: avg %.2f W, %lld deadline misses out of "
+              "%lld releases\n",
+              report.avg_system_watts, static_cast<long long>(report.deadline_misses),
+              static_cast<long long>(report.releases));
+  std::printf("(energy-friendly, deadline-hostile: compare examples/camcorder "
+              "and the RT-DVS policies)\n");
+  return 0;
+}

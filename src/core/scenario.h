@@ -1,0 +1,59 @@
+// Scenario files: a small text format describing a complete simulation
+// setup (task set, per-task actual-demand model, machine, optional
+// aperiodic server), consumed by the rtdvs_sim command-line tool and usable
+// by downstream test rigs.
+//
+//   # comment (also after '#' on a line)
+//   machine machine0                 # machine0|machine1|machine2|k6
+//   task <name> <period_ms> <wcet_ms> [demand]
+//   server <polling|deferrable|cbs> <period_ms> <budget_ms>
+//          [interarrival=<ms>] [service=<ms>] [maxservice=<ms>]   (one line)
+//
+// [demand] is one of:
+//   c=<fraction>           constant fraction of the worst case (default 1)
+//   uniform                uniform in (0, 1]
+//   uniform=<lo>,<hi>      uniform in (lo, hi]
+//   bimodal=<typ>,<p>      mostly <= typ, spikes near 1 with probability p
+//   cold=<factor>          first invocation costs <factor> x (capped at 1)
+#ifndef SRC_CORE_SCENARIO_H_
+#define SRC_CORE_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "src/cpu/machine_spec.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/task.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+
+struct Scenario {
+  TaskSet tasks;
+  MachineSpec machine = MachineSpec::Machine0();
+  AperiodicServerConfig server;  // kind == kNone when no server line
+
+  // Builds the per-task execution-time model declared in the file. Each
+  // call returns a fresh instance (models are stateful).
+  std::unique_ptr<ExecTimeModel> MakeExecModel() const;
+
+  // The demand spec strings per task, for MakeExecModel and round-tripping.
+  std::vector<std::string> demand_specs;
+};
+
+// Parses scenario text. Returns the scenario or a human-readable error
+// (with a line number) — file-format problems are user errors, not
+// programming errors, so no CHECK-aborts here.
+std::variant<Scenario, std::string> ParseScenario(std::string_view text);
+
+// Convenience: reads and parses a file.
+std::variant<Scenario, std::string> LoadScenarioFile(const std::string& path);
+
+// Parses one demand spec (see header comment); nullptr on syntax error.
+std::unique_ptr<ExecTimeModel> MakeDemandModel(std::string_view spec);
+
+}  // namespace rtdvs
+
+#endif  // SRC_CORE_SCENARIO_H_

@@ -1,0 +1,93 @@
+// Utilization-sweep experiment harness (§3.2 of the paper).
+//
+// Every evaluation figure in the paper has the same skeleton: generate many
+// random task sets at each worst-case utilization, run every policy on the
+// SAME task set with the SAME actual-execution draws, and plot energy
+// (absolute for Fig 9, EDF-normalized for Figs 10-13) against utilization,
+// together with the theoretical lower bound. This harness implements that
+// skeleton once; each bench binary configures it.
+//
+// Determinism note: releases are periodic and processed in task-id order, so
+// the execution-time model consumes randomness identically under every
+// policy. Re-seeding per (utilization, task set) therefore gives all
+// policies an identical workload — paired comparison, not just equal
+// distributions.
+#ifndef SRC_CORE_SWEEP_H_
+#define SRC_CORE_SWEEP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cpu/machine_spec.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/taskset_generator.h"
+#include "src/sim/simulator.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace rtdvs {
+
+struct SweepOptions {
+  // Policies to run, by factory id; defaults to the paper's six.
+  std::vector<std::string> policy_ids;
+  // Worst-case utilization grid; defaults to 0.05 .. 1.0 step 0.05.
+  std::vector<double> utilizations;
+  int num_tasks = 8;
+  int tasksets_per_point = 50;
+  double horizon_ms = 5000.0;
+  double idle_level = 0.0;
+  MachineSpec machine = MachineSpec::Machine0();
+  // Fresh execution-time model per run (models may keep no cross-run state).
+  std::function<std::unique_ptr<ExecTimeModel>()> exec_model_factory =
+      [] { return std::make_unique<ConstantFractionModel>(1.0); };
+  // Optional non-paper generator (UUniFast ablation).
+  bool use_uunifast = false;
+  uint64_t seed = 20010901;  // SOSP'01
+};
+
+// Aggregated outcome of one policy at one utilization point.
+struct PolicyCell {
+  RunningStats energy;             // absolute energy units
+  RunningStats normalized_energy;  // ratio to plain EDF on the same workload
+  int64_t deadline_misses = 0;
+  int64_t tasksets_with_misses = 0;
+};
+
+struct SweepRow {
+  double utilization = 0;
+  std::vector<PolicyCell> cells;   // parallel to options.policy_ids
+  RunningStats bound;              // absolute lower bound
+  RunningStats normalized_bound;   // bound / EDF energy
+};
+
+class UtilizationSweep {
+ public:
+  explicit UtilizationSweep(SweepOptions options);
+
+  // Runs the full grid. Cost: |utilizations| * tasksets_per_point *
+  // (|policies|+1) simulations.
+  std::vector<SweepRow> Run() const;
+
+  // Renders rows as the paper's figures do: one column per policy plus the
+  // bound. `normalized` selects EDF-relative values (Figs 10-13) vs
+  // absolute energy per second (Fig 9).
+  TextTable ToTable(const std::vector<SweepRow>& rows, bool normalized) const;
+
+  // Convenience: a table of total deadline misses per policy/utilization;
+  // all-zero rows are the expected outcome for RT-DVS policies.
+  TextTable MissTable(const std::vector<SweepRow>& rows) const;
+
+  const SweepOptions& options() const { return options_; }
+
+ private:
+  SweepOptions options_;
+};
+
+// The default utilization grid 0.05, 0.10, ..., 1.0.
+std::vector<double> DefaultUtilizationGrid();
+
+}  // namespace rtdvs
+
+#endif  // SRC_CORE_SWEEP_H_

@@ -1,0 +1,14 @@
+#include "src/cpu/energy_model.h"
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+EnergyModel::EnergyModel(double idle_level, double coefficient)
+    : idle_level_(idle_level), coefficient_(coefficient) {
+  RTDVS_CHECK_GE(idle_level_, 0.0);
+  RTDVS_CHECK_LE(idle_level_, 1.0);
+  RTDVS_CHECK_GT(coefficient_, 0.0);
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,52 @@
+// Energy accounting for the simulated processor (§3.1 of the paper).
+//
+// Model: a constant quantum of energy per cycle, scaled by V^2 (CMOS).
+// Work is measured in "milliseconds of execution at maximum frequency", so
+// executing work w at operating point (f, V) takes w/f wall-milliseconds and
+// dissipates w * V^2 * coefficient. A halted (idle) wall-millisecond at
+// (f, V) burns f idle cycles, each at idle_level times the energy of a
+// normal cycle: t * f * V^2 * idle_level * coefficient.
+#ifndef SRC_CPU_ENERGY_MODEL_H_
+#define SRC_CPU_ENERGY_MODEL_H_
+
+#include "src/cpu/operating_point.h"
+
+namespace rtdvs {
+
+class EnergyModel {
+ public:
+  // idle_level: ratio of halted-cycle energy to active-cycle energy
+  // (0 = perfect software-controlled halt, 1 = halt saves nothing).
+  // coefficient: joules (or arbitrary units) per work-unit at 1 V.
+  explicit EnergyModel(double idle_level = 0.0, double coefficient = 1.0);
+
+  double idle_level() const { return idle_level_; }
+  double coefficient() const { return coefficient_; }
+
+  // Energy to execute `work` work-units at `point`.
+  double ExecutionEnergy(double work, const OperatingPoint& point) const {
+    return work * point.EnergyPerWorkUnit() * coefficient_;
+  }
+
+  // Energy dissipated while halted for `wall_ms` at `point`.
+  double IdleEnergy(double wall_ms, const OperatingPoint& point) const {
+    return wall_ms * point.frequency * point.EnergyPerWorkUnit() * idle_level_ *
+           coefficient_;
+  }
+
+  // Instantaneous power (energy per wall-ms) in the two states.
+  double ActivePower(const OperatingPoint& point) const {
+    return point.ActivePower() * coefficient_;
+  }
+  double IdlePower(const OperatingPoint& point) const {
+    return point.ActivePower() * idle_level_ * coefficient_;
+  }
+
+ private:
+  double idle_level_;
+  double coefficient_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_CPU_ENERGY_MODEL_H_

@@ -1,0 +1,67 @@
+#include "src/cpu/lower_bound.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+EnergyOptimalMix MinimumExecutionEnergyMix(double total_work, double horizon_ms,
+                                           const MachineSpec& machine,
+                                           const EnergyModel& energy) {
+  RTDVS_CHECK_GE(total_work, 0.0);
+  RTDVS_CHECK_GT(horizon_ms, 0.0);
+  const auto& points = machine.points();
+
+  EnergyOptimalMix best;
+  best.energy = std::numeric_limits<double>::infinity();
+
+  auto consider = [&](const OperatingPoint& lo, const OperatingPoint& hi, double w_lo,
+                      double w_hi) {
+    if (w_lo < 0 || w_hi < 0) {
+      return;
+    }
+    double cost = energy.ExecutionEnergy(w_lo, lo) + energy.ExecutionEnergy(w_hi, hi);
+    if (cost < best.energy) {
+      best = EnergyOptimalMix{lo, hi, w_lo, w_hi, cost};
+    }
+  };
+
+  // Single-point candidates: all work at one frequency, feasible if it fits
+  // in the horizon.
+  for (const auto& p : points) {
+    if (total_work <= horizon_ms * p.frequency * (1.0 + 1e-12)) {
+      consider(p, p, 0.0, total_work);
+    }
+  }
+
+  // Two-point candidates: the time constraint tight.
+  //   w_lo + w_hi = W,  w_lo/f_lo + w_hi/f_hi = T
+  // => w_hi = f_hi * (W - T*f_lo) / (f_hi - f_lo)
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const auto& lo = points[i];
+      const auto& hi = points[j];
+      double w_hi =
+          hi.frequency * (total_work - horizon_ms * lo.frequency) / (hi.frequency - lo.frequency);
+      double w_lo = total_work - w_hi;
+      consider(lo, hi, w_lo, w_hi);
+    }
+  }
+
+  if (!std::isfinite(best.energy)) {
+    // Infeasible even at full speed; the cheapest conceivable execution of
+    // this many cycles still pays max-point energy per cycle at best.
+    const auto& p = machine.max_point();
+    best = EnergyOptimalMix{p, p, 0.0, total_work, energy.ExecutionEnergy(total_work, p)};
+  }
+  return best;
+}
+
+double MinimumExecutionEnergy(double total_work, double horizon_ms,
+                              const MachineSpec& machine, const EnergyModel& energy) {
+  return MinimumExecutionEnergyMix(total_work, horizon_ms, machine, energy).energy;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,46 @@
+// Theoretical lower bound on execution energy (§3.2 of the paper).
+//
+// "It is computed by taking the total number of task computation cycles in
+// the simulation, and determining the absolute minimum energy with which
+// these can be executed over the simulation time duration with the given
+// platform frequency and voltage specification."
+//
+// Formally: minimize sum_j w_j * V_j^2 subject to sum_j w_j = W and
+// sum_j w_j / f_j <= T, w_j >= 0 — a two-constraint LP whose optimum lies at
+// a basic solution using at most two operating points. We enumerate all
+// single points and pairs, which is exact and trivially fast for the <= 8
+// point tables real platforms have.
+#ifndef SRC_CPU_LOWER_BOUND_H_
+#define SRC_CPU_LOWER_BOUND_H_
+
+#include "src/cpu/energy_model.h"
+#include "src/cpu/machine_spec.h"
+
+namespace rtdvs {
+
+// Returns the minimum energy to execute total_work work-units within
+// horizon_ms wall-milliseconds on `machine` (idle assumed free, matching the
+// paper's bound). If the workload is infeasible even at full speed
+// (total_work > horizon), the bound is the cost of running everything at the
+// maximum point — still a valid lower bound on whatever any schedule does.
+double MinimumExecutionEnergy(double total_work, double horizon_ms,
+                              const MachineSpec& machine,
+                              const EnergyModel& energy = EnergyModel());
+
+// The energy-optimal frequency mix is sometimes useful for reporting: the
+// two points and the work split the LP chose.
+struct EnergyOptimalMix {
+  OperatingPoint low;
+  OperatingPoint high;
+  double work_at_low = 0;
+  double work_at_high = 0;
+  double energy = 0;
+};
+
+EnergyOptimalMix MinimumExecutionEnergyMix(double total_work, double horizon_ms,
+                                           const MachineSpec& machine,
+                                           const EnergyModel& energy = EnergyModel());
+
+}  // namespace rtdvs
+
+#endif  // SRC_CPU_LOWER_BOUND_H_

@@ -1,0 +1,32 @@
+// A DVS operating point: a normalized clock frequency and its supply voltage.
+#ifndef SRC_CPU_OPERATING_POINT_H_
+#define SRC_CPU_OPERATING_POINT_H_
+
+#include <string>
+
+namespace rtdvs {
+
+struct OperatingPoint {
+  // Clock frequency normalized to the platform maximum (in (0, 1]).
+  double frequency = 1.0;
+  // Supply voltage in volts at this frequency.
+  double voltage = 1.0;
+
+  // CMOS switching energy per cycle scales with V^2 (Burd & Brodersen);
+  // this returns the per-work-unit relative energy, where one work unit is
+  // one millisecond of execution at the maximum frequency.
+  double EnergyPerWorkUnit() const { return voltage * voltage; }
+
+  // Power while executing, relative: cycles per wall-ms scale with f.
+  double ActivePower() const { return frequency * voltage * voltage; }
+
+  friend bool operator==(const OperatingPoint& a, const OperatingPoint& b) {
+    return a.frequency == b.frequency && a.voltage == b.voltage;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_CPU_OPERATING_POINT_H_

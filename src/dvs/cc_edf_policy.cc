@@ -1,0 +1,55 @@
+#include "src/dvs/cc_edf_policy.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+void CcEdfPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
+  utilization_.assign(static_cast<size_t>(ctx.tasks->size()), 0.0);
+  for (int id = 0; id < ctx.tasks->size(); ++id) {
+    const Task& task = ctx.tasks->task(id);
+    if (ctx.view(id).has_active_job) {
+      utilization_[static_cast<size_t>(id)] = task.utilization();
+    } else {
+      // Between invocations at (re)start: charge the last known actual use,
+      // exactly as if its completion had just been observed.
+      utilization_[static_cast<size_t>(id)] =
+          std::min(ctx.view(id).last_actual_work, task.wcet_ms) / task.period_ms;
+    }
+  }
+  SelectFrequency(ctx, speed);
+}
+
+void CcEdfPolicy::OnTaskRelease(int task_id, const PolicyContext& ctx,
+                                SpeedController& speed) {
+  const Task& task = ctx.tasks->task(task_id);
+  utilization_[static_cast<size_t>(task_id)] = task.utilization();
+  SelectFrequency(ctx, speed);
+}
+
+void CcEdfPolicy::OnTaskCompletion(int task_id, const PolicyContext& ctx,
+                                   SpeedController& speed) {
+  const Task& task = ctx.tasks->task(task_id);
+  // cc_i: the actual cycles consumed this invocation, capped at the
+  // specified bound (a task must not gain budget by overrunning).
+  double used = std::min(ctx.view(task_id).last_actual_work, task.wcet_ms);
+  utilization_[static_cast<size_t>(task_id)] = used / task.period_ms;
+  SelectFrequency(ctx, speed);
+}
+
+double CcEdfPolicy::TotalTrackedUtilization() const {
+  double total = 0;
+  for (double u : utilization_) {
+    total += u;
+  }
+  return total;
+}
+
+void CcEdfPolicy::SelectFrequency(const PolicyContext& ctx, SpeedController& speed) {
+  speed.SetOperatingPoint(
+      ctx.machine->LowestPointAtLeastClamped(TotalTrackedUtilization()));
+}
+
+}  // namespace rtdvs

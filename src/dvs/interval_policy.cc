@@ -1,0 +1,38 @@
+#include "src/dvs/interval_policy.h"
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+IntervalPolicy::IntervalPolicy(IntervalPolicyOptions options) : options_(options) {
+  RTDVS_CHECK_GT(options_.window_ms, 0.0);
+  RTDVS_CHECK_GT(options_.ewma_weight, 0.0);
+  RTDVS_CHECK_LE(options_.ewma_weight, 1.0);
+  RTDVS_CHECK_GE(options_.headroom, 1.0);
+}
+
+void IntervalPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
+  // Start at full speed, like a governor taking over a running system.
+  speed.SetOperatingPoint(ctx.machine->max_point());
+  predicted_rate_ = ctx.machine->max_point().frequency;
+  last_window_work_ = ctx.cumulative_work;
+  next_wakeup_ms_ = ctx.now_ms + options_.window_ms;
+}
+
+std::optional<double> IntervalPolicy::NextWakeupMs(const PolicyContext& ctx) {
+  (void)ctx;
+  return next_wakeup_ms_;
+}
+
+void IntervalPolicy::OnWakeup(const PolicyContext& ctx, SpeedController& speed) {
+  double window_work = ctx.cumulative_work - last_window_work_;
+  last_window_work_ = ctx.cumulative_work;
+  double measured_rate = window_work / options_.window_ms;
+  predicted_rate_ = options_.ewma_weight * measured_rate +
+                    (1.0 - options_.ewma_weight) * predicted_rate_;
+  speed.SetOperatingPoint(
+      ctx.machine->LowestPointAtLeastClamped(predicted_rate_ * options_.headroom));
+  next_wakeup_ms_ = ctx.now_ms + options_.window_ms;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,50 @@
+// Interval-based, average-throughput DVS — the class of algorithms the
+// paper argues CANNOT be used in real-time systems (§1, §2.2; Weiser et al.
+// OSDI'94, Govil et al. MOBICOM'95, Pering & Brodersen ISLPED'98).
+//
+// Every `window_ms` the policy measures processor utilization over the past
+// window, smooths it with an exponentially weighted moving average, and
+// picks the lowest frequency that covers the predicted load. It tracks the
+// average beautifully and saves energy, but knows nothing about deadlines —
+// the camcorder example (examples/camcorder.cc) and the ablation bench show
+// it missing deadlines that every RT-DVS policy meets.
+#ifndef SRC_DVS_INTERVAL_POLICY_H_
+#define SRC_DVS_INTERVAL_POLICY_H_
+
+#include "src/dvs/policy.h"
+
+namespace rtdvs {
+
+struct IntervalPolicyOptions {
+  // Length of the measurement/adjustment window.
+  double window_ms = 20.0;
+  // EWMA smoothing weight for the newest window's measured rate.
+  double ewma_weight = 0.5;
+  // Multiplicative headroom applied to the predicted rate before choosing a
+  // frequency (1.0 = none, matching the naive schemes the paper critiques).
+  double headroom = 1.0;
+};
+
+class IntervalPolicy : public DvsPolicy {
+ public:
+  explicit IntervalPolicy(IntervalPolicyOptions options);
+
+  std::string name() const override { return "intervalDVS"; }
+  // Paired with EDF so that any deadline misses are attributable to the
+  // frequency choice, not to priority inversion.
+  SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
+
+  void OnStart(const PolicyContext& ctx, SpeedController& speed) override;
+  std::optional<double> NextWakeupMs(const PolicyContext& ctx) override;
+  void OnWakeup(const PolicyContext& ctx, SpeedController& speed) override;
+
+ private:
+  IntervalPolicyOptions options_;
+  double next_wakeup_ms_ = 0;
+  double last_window_work_ = 0;   // cumulative work at the last wakeup
+  double predicted_rate_ = 1.0;   // EWMA of work per wall-ms
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_DVS_INTERVAL_POLICY_H_

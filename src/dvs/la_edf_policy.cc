@@ -1,0 +1,88 @@
+#include "src/dvs/la_edf_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+#include "src/util/time_eps.h"
+
+namespace rtdvs {
+
+void LaEdfPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
+  auto n = static_cast<size_t>(ctx.tasks->size());
+  c_left_.assign(n, 0.0);
+  executed_snapshot_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    c_left_[i] = ctx.views[i].worst_case_remaining;
+    executed_snapshot_[i] = ctx.views[i].cumulative_executed;
+  }
+  Defer(ctx, speed);
+}
+
+void LaEdfPolicy::Sync(const PolicyContext& ctx) {
+  for (size_t i = 0; i < c_left_.size(); ++i) {
+    double delta = ctx.views[i].cumulative_executed - executed_snapshot_[i];
+    if (delta > 0) {
+      c_left_[i] = std::max(0.0, c_left_[i] - delta);
+      executed_snapshot_[i] = ctx.views[i].cumulative_executed;
+    }
+  }
+}
+
+void LaEdfPolicy::OnTaskRelease(int task_id, const PolicyContext& ctx,
+                                SpeedController& speed) {
+  Sync(ctx);
+  c_left_[static_cast<size_t>(task_id)] = ctx.tasks->task(task_id).wcet_ms;
+  Defer(ctx, speed);
+}
+
+void LaEdfPolicy::OnTaskCompletion(int task_id, const PolicyContext& ctx,
+                                   SpeedController& speed) {
+  Sync(ctx);
+  c_left_[static_cast<size_t>(task_id)] = 0.0;
+  Defer(ctx, speed);
+}
+
+void LaEdfPolicy::Defer(const PolicyContext& ctx, SpeedController& speed) {
+  const double d_next = ctx.EarliestDeadline();
+
+  // Tasks in reverse-EDF order: latest deadline first.
+  std::vector<int> order(static_cast<size_t>(ctx.tasks->size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&ctx](int a, int b) {
+    return ctx.view(a).next_deadline_ms > ctx.view(b).next_deadline_ms;
+  });
+
+  double utilization = ctx.tasks->TotalUtilization();
+  double must_run_now = 0;  // s: work that has to execute before d_next
+  for (int id : order) {
+    auto i = static_cast<size_t>(id);
+    utilization -= ctx.tasks->task(id).utilization();
+    double slack_window = ctx.view(id).next_deadline_ms - d_next;
+    double x;
+    if (slack_window <= kTimeEpsMs) {
+      // This task's deadline IS the next deadline: nothing can be deferred.
+      x = c_left_[i];
+    } else {
+      // Defer as much as fits into (D_n, D_i] after reserving worst-case
+      // bandwidth (utilization so far) for earlier-deadline tasks. The
+      // min() guards the transient U > 1 case, where the unclamped formula
+      // would schedule more than the task's remaining worst case.
+      x = std::clamp(c_left_[i] - (1.0 - utilization) * slack_window, 0.0, c_left_[i]);
+      utilization += (c_left_[i] - x) / slack_window;
+    }
+    must_run_now += x;
+  }
+
+  const double interval = d_next - ctx.now_ms;
+  OperatingPoint point;
+  if (interval <= kTimeEpsMs) {
+    point = (must_run_now > kWorkEps) ? ctx.machine->max_point()
+                                      : ctx.machine->min_point();
+  } else {
+    point = ctx.machine->LowestPointAtLeastClamped(must_run_now / interval);
+  }
+  speed.SetOperatingPoint(point);
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,86 @@
+#include "src/dvs/policy.h"
+
+#include "src/dvs/cc_edf_policy.h"
+#include "src/dvs/cc_rm_policy.h"
+#include "src/dvs/interval_policy.h"
+#include "src/dvs/la_edf_policy.h"
+#include "src/dvs/no_dvs_policy.h"
+#include "src/dvs/stat_edf_policy.h"
+#include "src/dvs/static_scaling_policy.h"
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+double PolicyContext::EarliestDeadline() const {
+  RTDVS_CHECK(!views.empty());
+  double earliest = views.front().next_deadline_ms;
+  for (const auto& view : views) {
+    earliest = std::min(earliest, view.next_deadline_ms);
+  }
+  return earliest;
+}
+
+void DvsPolicy::OnIdle(const PolicyContext& ctx, SpeedController& speed) {
+  if (lowers_speed_when_idle()) {
+    speed.SetOperatingPoint(ctx.machine->min_point());
+  }
+}
+
+bool IsValidPolicyId(const std::string& id) {
+  for (const char* valid : {"edf", "rm", "static_edf", "static_rm", "static_rm_exact",
+                            "cc_edf", "cc_rm", "la_edf", "interval", "stat_edf"}) {
+    if (id == valid) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<DvsPolicy> MakePolicy(const std::string& id) {
+  if (id == "edf") {
+    return std::make_unique<NoDvsPolicy>(SchedulerKind::kEdf);
+  }
+  if (id == "rm") {
+    return std::make_unique<NoDvsPolicy>(SchedulerKind::kRm);
+  }
+  if (id == "static_edf") {
+    return std::make_unique<StaticScalingPolicy>(SchedulerKind::kEdf);
+  }
+  if (id == "static_rm") {
+    return std::make_unique<StaticScalingPolicy>(SchedulerKind::kRm);
+  }
+  if (id == "static_rm_exact") {
+    // Ablation: exact response-time analysis instead of the paper's
+    // sufficient ceiling test.
+    return std::make_unique<StaticScalingPolicy>(SchedulerKind::kRm,
+                                                 /*exact_rm=*/true);
+  }
+  if (id == "cc_edf") {
+    return std::make_unique<CcEdfPolicy>();
+  }
+  if (id == "cc_rm") {
+    return std::make_unique<CcRmPolicy>();
+  }
+  if (id == "la_edf") {
+    return std::make_unique<LaEdfPolicy>();
+  }
+  if (id == "interval") {
+    return std::make_unique<IntervalPolicy>(IntervalPolicyOptions{});
+  }
+  if (id == "stat_edf") {
+    // §6 future-work extension: soft deadlines, default 95th percentile.
+    return std::make_unique<StatEdfPolicy>(StatEdfOptions{});
+  }
+  RTDVS_CHECK(false) << "unknown policy id '" << id
+                     << "'; expected edf|rm|static_edf|static_rm|static_rm_exact|"
+                        "cc_edf|cc_rm|la_edf|interval|stat_edf";
+  return nullptr;
+}
+
+const std::vector<std::string>& AllPaperPolicyIds() {
+  static const std::vector<std::string> kIds = {
+      "edf", "static_rm", "static_edf", "cc_edf", "cc_rm", "la_edf"};
+  return kIds;
+}
+
+}  // namespace rtdvs

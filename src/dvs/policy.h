@@ -1,0 +1,139 @@
+// The DVS policy interface: the contract between the OS's task-management
+// hooks and a voltage-scaling algorithm (§2 of the paper).
+//
+// Policies are invoked at exactly the points the paper's algorithms need:
+// task release, task completion, start of an idle interval, and (for
+// non-real-time interval-based baselines) self-scheduled timer wakeups. A
+// policy observes the task set through read-only TaskRuntimeViews and acts
+// by setting the operating point through a SpeedController.
+#ifndef SRC_DVS_POLICY_H_
+#define SRC_DVS_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cpu/machine_spec.h"
+#include "src/rt/scheduler.h"
+#include "src/rt/task.h"
+
+namespace rtdvs {
+
+// Per-task state a policy may observe at a scheduling point. A policy never
+// sees a job's actual (future) computation requirement — only the worst case
+// and what has executed so far — mirroring what a real kernel can know.
+struct TaskRuntimeView {
+  // True when an invocation has been released and not yet completed.
+  bool has_active_job = false;
+  // Deadline of the current invocation when active; otherwise the task's
+  // next release time (for periodic tasks the two coincide: the deadline of
+  // an invocation IS the next release). This is the "deadline in the
+  // system" that ccRM and laEDF reason about.
+  double next_deadline_ms = 0;
+  // Work executed within the current invocation (0 when no active job).
+  double executed_in_invocation = 0;
+  // C_i minus executed_in_invocation, floored at 0; 0 when no active job.
+  // This is the paper's c_left_i as directly observable state.
+  double worst_case_remaining = 0;
+  // Total work executed on behalf of this task since the policy was
+  // (re)initialized; lets policies account "during task execution:
+  // decrement ..." bookkeeping by differencing between callbacks.
+  double cumulative_executed = 0;
+  // Actual work consumed by the most recently completed invocation
+  // (the paper's cc_i); defaults to C_i before the first completion.
+  double last_actual_work = 0;
+};
+
+struct PolicyContext {
+  double now_ms = 0;
+  const TaskSet* tasks = nullptr;
+  const MachineSpec* machine = nullptr;
+  std::vector<TaskRuntimeView> views;
+  // Wall-clock totals since start, for utilization-feedback baselines.
+  double cumulative_busy_ms = 0;
+  double cumulative_idle_ms = 0;
+  double cumulative_work = 0;
+
+  const TaskRuntimeView& view(int task_id) const {
+    return views[static_cast<size_t>(task_id)];
+  }
+  // Earliest next_deadline_ms across all tasks; the "next deadline in the
+  // system" (requires a non-empty task set).
+  double EarliestDeadline() const;
+};
+
+// How a policy changes processor speed. Implementations count transitions
+// and may model switch latency.
+class SpeedController {
+ public:
+  virtual ~SpeedController() = default;
+  virtual void SetOperatingPoint(const OperatingPoint& point) = 0;
+  virtual const OperatingPoint& current() const = 0;
+};
+
+class DvsPolicy {
+ public:
+  virtual ~DvsPolicy() = default;
+
+  // Display name matching the paper's figure legends (e.g. "ccEDF").
+  virtual std::string name() const = 0;
+  // The real-time scheduler this policy is designed for.
+  virtual SchedulerKind scheduler_kind() const = 0;
+  // Dynamic policies drop to the lowest operating point during idle
+  // (§3.2: "the dynamic algorithms switch to the lowest frequency and
+  // voltage during idle, while the static ones do not").
+  virtual bool lowers_speed_when_idle() const { return false; }
+
+  // Called once before the first release, and again whenever the task set
+  // changes (dynamic task admission/removal, §4.3). Must (re)build any
+  // per-task state and set the initial operating point.
+  virtual void OnStart(const PolicyContext& ctx, SpeedController& speed) = 0;
+
+  virtual void OnTaskRelease(int task_id, const PolicyContext& ctx,
+                             SpeedController& speed) {
+    (void)task_id;
+    (void)ctx;
+    (void)speed;
+  }
+  virtual void OnTaskCompletion(int task_id, const PolicyContext& ctx,
+                                SpeedController& speed) {
+    (void)task_id;
+    (void)ctx;
+    (void)speed;
+  }
+
+  // Called when the processor is about to idle (no runnable job). The
+  // default honors lowers_speed_when_idle().
+  virtual void OnIdle(const PolicyContext& ctx, SpeedController& speed);
+
+  // Timer-driven policies (the non-RT interval baseline) return their next
+  // wakeup time; the engine calls OnWakeup when it arrives.
+  virtual std::optional<double> NextWakeupMs(const PolicyContext& ctx) {
+    (void)ctx;
+    return std::nullopt;
+  }
+  virtual void OnWakeup(const PolicyContext& ctx, SpeedController& speed) {
+    (void)ctx;
+    (void)speed;
+  }
+};
+
+// Factory: creates a policy by its canonical id. Valid ids:
+//   "edf", "rm"            — plain schedulers, no DVS (always max speed)
+//   "static_edf", "static_rm" — §2.3 static voltage scaling
+//   "cc_edf", "cc_rm"      — §2.4 cycle-conserving RT-DVS
+//   "la_edf"               — §2.5 look-ahead RT-DVS
+//   "interval"             — non-RT utilization-feedback DVS baseline (§2.2)
+// Aborts (listing valid ids) on unknown input.
+std::unique_ptr<DvsPolicy> MakePolicy(const std::string& id);
+
+// All RT policy ids in the order the paper's tables/figures list them.
+const std::vector<std::string>& AllPaperPolicyIds();
+
+// True when `id` is accepted by MakePolicy.
+bool IsValidPolicyId(const std::string& id);
+
+}  // namespace rtdvs
+
+#endif  // SRC_DVS_POLICY_H_

@@ -1,0 +1,91 @@
+#include "src/dvs/stat_edf_policy.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+StatEdfPolicy::StatEdfPolicy(StatEdfOptions options) : options_(options) {
+  RTDVS_CHECK_GT(options_.percentile, 0.0);
+  RTDVS_CHECK_LE(options_.percentile, 100.0);
+  RTDVS_CHECK_GT(options_.history_window, 0);
+  RTDVS_CHECK_GT(options_.min_samples, 0);
+}
+
+std::string StatEdfPolicy::name() const {
+  return StrFormat("statEDF(p%g)", options_.percentile);
+}
+
+double StatEdfPolicy::EstimateFor(int task_id, const PolicyContext& ctx) const {
+  const Task& task = ctx.tasks->task(task_id);
+  const auto& samples = history_[static_cast<size_t>(task_id)];
+  if (static_cast<int>(samples.size()) < options_.min_samples) {
+    return task.wcet_ms;  // not enough evidence: hard-real-time behaviour
+  }
+  double estimate = Percentile(samples, options_.percentile);
+  // Never budget above the specified worst case (the spec is authoritative)
+  // nor below an executing invocation's own demand floor of > 0.
+  return std::min(estimate, task.wcet_ms);
+}
+
+void StatEdfPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
+  auto n = static_cast<size_t>(ctx.tasks->size());
+  utilization_.assign(n, 0.0);
+  history_.assign(n, {});
+  history_next_.assign(n, 0);
+  for (int id = 0; id < ctx.tasks->size(); ++id) {
+    utilization_[static_cast<size_t>(id)] = ctx.tasks->task(id).utilization();
+  }
+  SelectFrequency(ctx, speed);
+}
+
+void StatEdfPolicy::OnTaskRelease(int task_id, const PolicyContext& ctx,
+                                  SpeedController& speed) {
+  const Task& task = ctx.tasks->task(task_id);
+  utilization_[static_cast<size_t>(task_id)] =
+      EstimateFor(task_id, ctx) / task.period_ms;
+  SelectFrequency(ctx, speed);
+}
+
+void StatEdfPolicy::OnTaskCompletion(int task_id, const PolicyContext& ctx,
+                                     SpeedController& speed) {
+  const Task& task = ctx.tasks->task(task_id);
+  double used = std::min(ctx.view(task_id).last_actual_work, task.wcet_ms);
+  auto i = static_cast<size_t>(task_id);
+  // Record the sample in the sliding window.
+  if (static_cast<int>(history_[i].size()) < options_.history_window) {
+    history_[i].push_back(used);
+  } else {
+    history_[i][static_cast<size_t>(history_next_[i])] = used;
+    history_next_[i] = (history_next_[i] + 1) % options_.history_window;
+  }
+  utilization_[i] = used / task.period_ms;
+  SelectFrequency(ctx, speed);
+}
+
+void StatEdfPolicy::SelectFrequency(const PolicyContext& ctx, SpeedController& speed) {
+  double total = 0;
+  for (int id = 0; id < ctx.tasks->size(); ++id) {
+    auto i = static_cast<size_t>(id);
+    const auto& view = ctx.view(id);
+    double u = utilization_[i];
+    // Insurance against estimate busts: an active invocation that has
+    // already executed past its estimate is re-charged its full remaining
+    // worst case so the overload cannot compound.
+    if (view.has_active_job) {
+      const Task& task = ctx.tasks->task(id);
+      double charged = u * task.period_ms;
+      if (view.executed_in_invocation >= charged) {
+        u = (view.executed_in_invocation + view.worst_case_remaining) /
+            task.period_ms;
+      }
+    }
+    total += u;
+  }
+  speed.SetOperatingPoint(ctx.machine->LowestPointAtLeastClamped(total));
+}
+
+}  // namespace rtdvs

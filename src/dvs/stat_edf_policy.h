@@ -1,0 +1,64 @@
+// Statistical RT-DVS (the paper's §6 future direction: "we will investigate
+// DVS with probabilistic or statistical deadline guarantees"; in the spirit
+// of Gruian's stochastic-data DVS [8]).
+//
+// ccEDF charges a released task its full worst case C_i until it completes.
+// statEDF instead charges an empirical percentile of the task's OBSERVED
+// per-invocation computation history. With the 100th percentile (of a
+// window that has seen the worst case) it behaves like ccEDF; with lower
+// percentiles it runs slower and accepts a bounded, tunable risk that an
+// unusually heavy invocation pushes instantaneous demand past capacity and
+// a deadline slips — soft real-time, not hard.
+//
+// The miss risk is asymmetric insurance: when the estimate is exceeded the
+// policy immediately re-charges the offending task its full worst case
+// (observable as executed work overtaking the estimate at the next
+// scheduling point), so a single surprise does not cascade.
+#ifndef SRC_DVS_STAT_EDF_POLICY_H_
+#define SRC_DVS_STAT_EDF_POLICY_H_
+
+#include <vector>
+
+#include "src/dvs/policy.h"
+
+namespace rtdvs {
+
+struct StatEdfOptions {
+  // Percentile of the observed execution-time distribution used as the
+  // per-task budget estimate, in (0, 100].
+  double percentile = 95.0;
+  // Sliding window of samples per task.
+  int history_window = 64;
+  // Use the full worst case until this many samples have been observed.
+  int min_samples = 8;
+};
+
+class StatEdfPolicy : public DvsPolicy {
+ public:
+  explicit StatEdfPolicy(StatEdfOptions options);
+
+  std::string name() const override;
+  SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
+  bool lowers_speed_when_idle() const override { return true; }
+
+  void OnStart(const PolicyContext& ctx, SpeedController& speed) override;
+  void OnTaskRelease(int task_id, const PolicyContext& ctx,
+                     SpeedController& speed) override;
+  void OnTaskCompletion(int task_id, const PolicyContext& ctx,
+                        SpeedController& speed) override;
+
+  // Current budget estimate for a task (for tests).
+  double EstimateFor(int task_id, const PolicyContext& ctx) const;
+
+ private:
+  void SelectFrequency(const PolicyContext& ctx, SpeedController& speed);
+
+  StatEdfOptions options_;
+  std::vector<double> utilization_;                 // U_i
+  std::vector<std::vector<double>> history_;        // ring buffers of work samples
+  std::vector<int> history_next_;                   // ring cursor per task
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_DVS_STAT_EDF_POLICY_H_

@@ -1,0 +1,34 @@
+#include "src/dvs/static_scaling_policy.h"
+
+#include "src/rt/schedulability.h"
+#include "src/util/logging.h"
+
+namespace rtdvs {
+
+StaticScalingPolicy::StaticScalingPolicy(SchedulerKind kind, bool exact_rm)
+    : kind_(kind), exact_rm_(exact_rm) {}
+
+std::string StaticScalingPolicy::name() const {
+  std::string base = (kind_ == SchedulerKind::kEdf) ? "StaticEDF" : "StaticRM";
+  if (exact_rm_ && kind_ == SchedulerKind::kRm) {
+    base += "(exact)";
+  }
+  return base;
+}
+
+void StaticScalingPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
+  auto point = StaticScalingPoint(*ctx.tasks, *ctx.machine, kind_, exact_rm_);
+  if (!point.has_value()) {
+    // Even full speed fails the test; run flat out — the real-time
+    // guarantee is forfeit regardless of DVS, so do not make it worse.
+    // Common for RM at high utilization (its test is only sufficient), so
+    // log at debug level; the sweep harness reports misses explicitly.
+    RTDVS_LOG(kDebug) << name() << ": task set fails schedulability even at "
+                      << "maximum frequency; running at the maximum point";
+    point = ctx.machine->max_point();
+  }
+  chosen_ = *point;
+  speed.SetOperatingPoint(chosen_);
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,80 @@
+#include "src/kernel/powernow_module.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+PowerNowModule::PowerNowModule(K6Cpu* cpu, ProcFs* procfs)
+    : cpu_(cpu), procfs_(procfs) {
+  RTDVS_CHECK(cpu_ != nullptr);
+  if (procfs_ != nullptr) {
+    procfs_->RegisterFile(
+        "/proc/powernow/ctl", [this] { return ReadCtl(); },
+        [this](const std::string& data) { return WriteCtl(data); });
+  }
+}
+
+PowerNowModule::~PowerNowModule() {
+  if (procfs_ != nullptr) {
+    procfs_->UnregisterFile("/proc/powernow/ctl");
+  }
+}
+
+bool PowerNowModule::SetFrequencyMhz(double now_ms, double mhz) {
+  const auto& table = K6Cpu::FrequencyTableMhz();
+  int fid = -1;
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (std::fabs(table[i] - mhz) < 0.5) {
+      fid = static_cast<int>(i);
+      break;
+    }
+  }
+  if (fid < 0) {
+    return false;  // PLL cannot produce this frequency
+  }
+  // Empirical voltage map: lowest stable setting for the target frequency.
+  uint8_t vid = K6Cpu::IsStable(table[static_cast<size_t>(fid)],
+                                K6Cpu::VoltageTable()[0])
+                    ? 0
+                    : 1;
+  bool voltage_changes =
+      std::fabs(K6Cpu::VoltageTable()[vid] - cpu_->voltage()) > 1e-9;
+  if (!voltage_changes &&
+      std::fabs(table[static_cast<size_t>(fid)] - cpu_->frequency_mhz()) < 0.5) {
+    return true;  // already there; no transition needed
+  }
+  K6Cpu::Epmr epmr;
+  epmr.fid = static_cast<uint8_t>(fid);
+  epmr.vid = vid;
+  epmr.sgtc_units = voltage_changes ? kSgtcVoltageChange : kSgtcFrequencyOnly;
+  cpu_->WriteEpmr(now_ms, epmr);
+  if (voltage_changes) {
+    ++voltage_transitions_;
+  } else {
+    ++frequency_only_transitions_;
+  }
+  return true;
+}
+
+bool PowerNowModule::SetNormalizedPoint(double now_ms, const OperatingPoint& point) {
+  return SetFrequencyMhz(now_ms, std::round(point.frequency * K6Cpu::kMaxRatedMhz));
+}
+
+std::string PowerNowModule::ReadCtl() const {
+  return StrFormat("%g MHz %.2f V%s\n", cpu_->frequency_mhz(), cpu_->voltage(),
+                   cpu_->crashed() ? " CRASHED" : "");
+}
+
+bool PowerNowModule::WriteCtl(const std::string& data) {
+  auto mhz = ParseDouble(data);
+  if (!mhz.has_value()) {
+    return false;
+  }
+  double now = procfs_now_ms_ != nullptr ? *procfs_now_ms_ : 0.0;
+  return SetFrequencyMhz(now, *mhz);
+}
+
+}  // namespace rtdvs

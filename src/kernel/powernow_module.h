@@ -1,0 +1,66 @@
+// The PowerNow! kernel module (§4.2): "handles the access to the PowerNow!
+// mechanism to adjust clock speed and voltage. This provides a clean,
+// high-level interface for setting the appropriate bits of the processor's
+// special feature register for any desired frequency and voltage level."
+//
+// It owns the empirically determined frequency -> voltage map (1.4 V up to
+// 450 MHz, 2.0 V above), programs the stop-grant timeout like the prototype
+// (10 units ~ 0.41 ms when the voltage changes, 1 unit ~ 41 us when only
+// the frequency does), and exposes /proc/powernow/ctl so "a user-level,
+// non-RT DVS demon" or plain shell commands can drive it.
+#ifndef SRC_KERNEL_POWERNOW_MODULE_H_
+#define SRC_KERNEL_POWERNOW_MODULE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cpu/machine_spec.h"
+#include "src/kernel/procfs.h"
+#include "src/platform/k6_cpu.h"
+
+namespace rtdvs {
+
+class PowerNowModule {
+ public:
+  // `cpu` must outlive the module. Registers /proc/powernow/ctl.
+  PowerNowModule(K6Cpu* cpu, ProcFs* procfs);
+  ~PowerNowModule();
+
+  // Sets the clock to `mhz` (must be a PLL table entry) at time now_ms,
+  // choosing the lowest stable voltage and an SGTC long enough for the kind
+  // of transition. Returns false for frequencies the PLL cannot produce.
+  bool SetFrequencyMhz(double now_ms, double mhz);
+
+  // Governor-facing convenience: maps a normalized operating point from
+  // MachineSpec::K6TwoPointFour() onto the PLL table.
+  bool SetNormalizedPoint(double now_ms, const OperatingPoint& point);
+
+  // The machine specification this module exports to DVS policies.
+  static MachineSpec ExportedMachineSpec() { return MachineSpec::K6TwoPointFour(); }
+
+  double frequency_mhz() const { return cpu_->frequency_mhz(); }
+  double voltage() const { return cpu_->voltage(); }
+  int64_t voltage_transitions() const { return voltage_transitions_; }
+  int64_t frequency_only_transitions() const { return frequency_only_transitions_; }
+
+  // The SGTC programming the prototype used.
+  static constexpr uint32_t kSgtcVoltageChange = 10;  // ~0.41 ms
+  static constexpr uint32_t kSgtcFrequencyOnly = 1;   // ~41 us
+
+  // The procfs clock used to timestamp writes arriving through /proc.
+  void set_procfs_clock(const double* now_ms) { procfs_now_ms_ = now_ms; }
+
+ private:
+  std::string ReadCtl() const;
+  bool WriteCtl(const std::string& data);
+
+  K6Cpu* cpu_;
+  ProcFs* procfs_;
+  const double* procfs_now_ms_ = nullptr;
+  int64_t voltage_transitions_ = 0;
+  int64_t frequency_only_transitions_ = 0;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_KERNEL_POWERNOW_MODULE_H_

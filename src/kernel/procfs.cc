@@ -1,0 +1,48 @@
+#include "src/kernel/procfs.h"
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+void ProcFs::RegisterFile(const std::string& path, ReadHandler read,
+                          WriteHandler write) {
+  RTDVS_CHECK(!path.empty());
+  RTDVS_CHECK(nodes_.find(path) == nodes_.end())
+      << "procfs path already registered: " << path;
+  nodes_[path] = Node{std::move(read), std::move(write)};
+}
+
+void ProcFs::UnregisterFile(const std::string& path) {
+  RTDVS_CHECK(nodes_.erase(path) == 1) << "procfs path not registered: " << path;
+}
+
+bool ProcFs::Exists(const std::string& path) const {
+  return nodes_.find(path) != nodes_.end();
+}
+
+std::optional<std::string> ProcFs::Read(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || !it->second.read) {
+    return std::nullopt;
+  }
+  return it->second.read();
+}
+
+bool ProcFs::Write(const std::string& path, const std::string& data) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || !it->second.write) {
+    return false;
+  }
+  return it->second.write(data);
+}
+
+std::vector<std::string> ProcFs::ListFiles() const {
+  std::vector<std::string> paths;
+  paths.reserve(nodes_.size());
+  for (const auto& [path, node] : nodes_) {
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,45 @@
+// A /procfs-like string filesystem, mirroring how the paper's prototype
+// exposes its kernel modules to user level: "tasks can use ordinary file
+// read and write mechanisms to interact with our modules" (§4.2).
+#ifndef SRC_KERNEL_PROCFS_H_
+#define SRC_KERNEL_PROCFS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtdvs {
+
+class ProcFs {
+ public:
+  using ReadHandler = std::function<std::string()>;
+  // Returns false to signal EINVAL-style rejection of the written string.
+  using WriteHandler = std::function<bool(const std::string&)>;
+
+  // Registers a file; either handler may be null (file is then write- or
+  // read-only). Re-registering an existing path aborts: module name
+  // collisions are programming errors.
+  void RegisterFile(const std::string& path, ReadHandler read, WriteHandler write);
+  void UnregisterFile(const std::string& path);
+  bool Exists(const std::string& path) const;
+
+  // nullopt: no such file or not readable.
+  std::optional<std::string> Read(const std::string& path) const;
+  // false: no such file, not writable, or the handler rejected the data.
+  bool Write(const std::string& path, const std::string& data);
+
+  std::vector<std::string> ListFiles() const;
+
+ private:
+  struct Node {
+    ReadHandler read;
+    WriteHandler write;
+  };
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_KERNEL_PROCFS_H_

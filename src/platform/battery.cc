@@ -1,0 +1,33 @@
+#include "src/platform/battery.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+BatteryModel::BatteryModel(BatteryParams params) : params_(params) {
+  RTDVS_CHECK_GT(params_.capacity_wh, 0.0);
+  RTDVS_CHECK_GT(params_.rated_power_w, 0.0);
+  RTDVS_CHECK_GE(params_.peukert_exponent, 1.0);
+  RTDVS_CHECK_GT(params_.converter_efficiency, 0.0);
+  RTDVS_CHECK_LE(params_.converter_efficiency, 1.0);
+}
+
+double BatteryModel::PackWatts(double system_watts) const {
+  RTDVS_CHECK_GE(system_watts, 0.0);
+  return system_watts / params_.converter_efficiency;
+}
+
+double BatteryModel::LifeHours(double system_watts) const {
+  double pack_watts = PackWatts(system_watts);
+  if (pack_watts <= 0) {
+    return 0.0;  // nothing draining; call it flat rather than infinite
+  }
+  double ideal_hours = params_.capacity_wh / pack_watts;
+  double rate_penalty =
+      std::pow(params_.rated_power_w / pack_watts, params_.peukert_exponent - 1.0);
+  return ideal_hours * rate_penalty;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,44 @@
+// Battery-life model: the paper's whole motivation is "the most serious
+// limitation on these devices is the available battery life" — this module
+// turns the power numbers of Figure 16 into hours.
+//
+// Model: a battery of nominal capacity (watt-hours) drained through a DC-DC
+// conversion path of efficiency eta, with rate-dependent capacity loss per
+// Peukert's law: effective capacity shrinks as the discharge rate rises,
+//   life = (capacity / P_drawn) * (P_rated / P_drawn)^(k - 1)
+// with k = 1 an ideal battery and k ~ 1.1-1.3 typical of Li-ion/NiMH packs.
+#ifndef SRC_PLATFORM_BATTERY_H_
+#define SRC_PLATFORM_BATTERY_H_
+
+namespace rtdvs {
+
+struct BatteryParams {
+  // Nominal pack energy in watt-hours (the N3350-era packs were ~40 Wh).
+  double capacity_wh = 40.0;
+  // Discharge power at which the nominal capacity was rated.
+  double rated_power_w = 15.0;
+  // Peukert exponent (1.0 = ideal; higher = worse under high drain).
+  double peukert_exponent = 1.15;
+  // DC-DC conversion efficiency from pack to system rails.
+  double converter_efficiency = 0.90;
+};
+
+class BatteryModel {
+ public:
+  explicit BatteryModel(BatteryParams params);
+
+  // Hours of runtime when the system draws `system_watts` continuously.
+  double LifeHours(double system_watts) const;
+
+  // Pack-side power for a given system draw (conversion losses included).
+  double PackWatts(double system_watts) const;
+
+  const BatteryParams& params() const { return params_; }
+
+ private:
+  BatteryParams params_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_PLATFORM_BATTERY_H_

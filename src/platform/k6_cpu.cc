@@ -1,0 +1,70 @@
+#include "src/platform/k6_cpu.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+const std::vector<double>& K6Cpu::FrequencyTableMhz() {
+  // 200-600 MHz in 50 MHz steps skipping 250, limited by the 550 MHz rating.
+  static const std::vector<double> kTable = {200, 300, 350, 400, 450, 500, 550};
+  return kTable;
+}
+
+const std::vector<double>& K6Cpu::VoltageTable() {
+  static const std::vector<double> kTable = {1.4, 2.0};
+  return kTable;
+}
+
+K6Cpu::K6Cpu() = default;
+
+bool K6Cpu::IsStable(double mhz, double volts) {
+  if (volts >= 2.0) {
+    return mhz <= kMaxRatedMhz;
+  }
+  if (volts >= 1.4) {
+    return mhz <= 450.0;  // determined experimentally in §4.1
+  }
+  return false;
+}
+
+void K6Cpu::WriteEpmr(double now_ms, const Epmr& value) {
+  RTDVS_CHECK_LT(value.fid, FrequencyTableMhz().size()) << "invalid FID";
+  RTDVS_CHECK_LT(value.vid, VoltageTable().size()) << "unsupported VID on this board";
+  RTDVS_CHECK_GE(value.sgtc_units, 1u) << "SGTC must be at least one unit";
+  SyncTsc(now_ms);
+  epmr_ = value;
+  transition_end_ms_ = now_ms + static_cast<double>(value.sgtc_units) * kSgtcUnitMs;
+  ++transition_count_;
+  if (!IsStable(frequency_mhz(), voltage())) {
+    crashed_ = true;
+  }
+}
+
+void K6Cpu::SyncTsc(double now_ms) {
+  RTDVS_CHECK_GE(now_ms, tsc_synced_ms_ - 1e-9) << "time moved backwards";
+  if (now_ms > tsc_synced_ms_) {
+    // The TSC runs at the programmed core frequency, halted or not; after a
+    // WriteEpmr it counts at the (new) target frequency, which is what made
+    // the paper's 41 us transitions read as ~8200 / ~22500 cycles.
+    tsc_cycles_ += (now_ms - tsc_synced_ms_) * frequency_mhz() * 1000.0;
+    tsc_synced_ms_ = now_ms;
+  }
+}
+
+uint64_t K6Cpu::Tsc(double now_ms) const {
+  double cycles = tsc_cycles_;
+  if (now_ms > tsc_synced_ms_) {
+    cycles += (now_ms - tsc_synced_ms_) * frequency_mhz() * 1000.0;
+  }
+  return static_cast<uint64_t>(std::llround(cycles));
+}
+
+std::string K6Cpu::ToString() const {
+  return StrFormat("K6-2+ %g MHz @ %.1f V%s", frequency_mhz(), voltage(),
+                   crashed_ ? " (CRASHED: unstable f/V)" : "");
+}
+
+}  // namespace rtdvs

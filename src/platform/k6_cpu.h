@@ -1,0 +1,94 @@
+// Register-level simulation of the AMD K6-2+ PowerNow! mechanism on the
+// HP N3350 (§4.1 of the paper).
+//
+// Modelled hardware behaviour:
+//  * A built-in PLL clock generator offering 200-600 MHz in 50 MHz steps,
+//    skipping 250 MHz, capped at the chip's 550 MHz rating.
+//  * 5 voltage-ID pins driving an external regulator. 32 encodings are
+//    possible, but HP wired up only two: 1.4 V and 2.0 V.
+//  * Writes to the EPMR (enhanced power-management register) select a new
+//    frequency ID, voltage ID and a stop-grant timeout count (SGTC). The
+//    processor halts for SGTC x 4096 bus-clock cycles (40.96 us at the
+//    100 MHz bus) while the clock and supply stabilize.
+//  * The TSC keeps counting during the halt — at (approximately) the target
+//    frequency, which is how the paper measured ~8200 cycles for a
+//    transition to 200 MHz and ~22500 for one to 550 MHz at the minimum
+//    SGTC of one unit (41 us).
+//  * Empirical stability envelope: 1.4 V suffices up to 450 MHz; 500 and
+//    550 MHz require 2.0 V. Programming an unstable combination crashes the
+//    (simulated) processor.
+//
+// All methods take the current simulated time in ms; the device itself
+// holds no clock.
+#ifndef SRC_PLATFORM_K6_CPU_H_
+#define SRC_PLATFORM_K6_CPU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtdvs {
+
+class K6Cpu {
+ public:
+  // Frequency IDs: index into the PLL table below.
+  static constexpr double kBusClockMhz = 100.0;
+  static constexpr double kSgtcUnitMs = 4096.0 / (kBusClockMhz * 1000.0);  // 40.96 us
+  static constexpr double kMaxRatedMhz = 550.0;
+
+  // PLL settings within the chip's rating (250 MHz is skipped by the PLL).
+  static const std::vector<double>& FrequencyTableMhz();
+  // The two regulator voltages HP wired: index 0 -> 1.4 V, 1 -> 2.0 V.
+  static const std::vector<double>& VoltageTable();
+
+  struct Epmr {
+    uint8_t fid = 6;        // frequency ID (defaults to 550 MHz)
+    uint8_t vid = 1;        // voltage ID (defaults to 2.0 V)
+    uint32_t sgtc_units = 1;  // halt duration in 40.96 us units (>= 1)
+  };
+
+  K6Cpu();
+
+  // Programs a transition at time now_ms. The processor halts until
+  // transition_end_ms(); frequency and voltage take effect at the write
+  // (the clock retargets quickly; most of the halt is stabilization time —
+  // matching the paper's TSC observations). Writing an out-of-envelope
+  // combination sets crashed().
+  void WriteEpmr(double now_ms, const Epmr& value);
+
+  double frequency_mhz() const { return FrequencyTableMhz()[epmr_.fid]; }
+  double voltage() const { return VoltageTable()[epmr_.vid]; }
+  const Epmr& epmr() const { return epmr_; }
+
+  // True while the mandatory stop interval of the last transition is
+  // still running at now_ms.
+  bool InTransition(double now_ms) const { return now_ms < transition_end_ms_; }
+  double transition_end_ms() const { return transition_end_ms_; }
+
+  // Time-stamp counter value at now_ms (cycles since construction at t=0).
+  // Advances at the programmed frequency, including during halts — callers
+  // must pass non-decreasing times.
+  uint64_t Tsc(double now_ms) const;
+  // Bookkeeping hook: commits TSC up to now_ms; called on every state
+  // change so Tsc() stays O(1).
+  void SyncTsc(double now_ms);
+
+  bool crashed() const { return crashed_; }
+  // True when (mhz, volts) is within the empirically determined envelope.
+  static bool IsStable(double mhz, double volts);
+
+  int64_t transition_count() const { return transition_count_; }
+  std::string ToString() const;
+
+ private:
+  Epmr epmr_;
+  double transition_end_ms_ = 0;
+  double tsc_synced_ms_ = 0;
+  double tsc_cycles_ = 0;  // cycles accumulated up to tsc_synced_ms_
+  int64_t transition_count_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_PLATFORM_K6_CPU_H_

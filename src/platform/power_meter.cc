@@ -1,0 +1,49 @@
+#include "src/platform/power_meter.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+void PowerMeter::Accumulate(double start_ms, double end_ms, double watts) {
+  RTDVS_CHECK_LE(start_ms, end_ms + 1e-9);
+  if (end_ms <= start_ms) {
+    return;
+  }
+  RTDVS_CHECK_GE(watts, 0.0);
+  if (!segments_.empty()) {
+    RTDVS_CHECK_GE(start_ms, segments_.back().start_ms - 1e-9)
+        << "power segments must arrive in time order";
+  }
+  // Merge contiguous equal-power segments to keep the record compact.
+  if (!segments_.empty() && segments_.back().watts == watts &&
+      std::abs(segments_.back().end_ms - start_ms) < 1e-9) {
+    segments_.back().end_ms = end_ms;
+  } else {
+    segments_.push_back({start_ms, end_ms, watts});
+  }
+  total_watt_ms_ += watts * (end_ms - start_ms);
+  duration_ms_ += end_ms - start_ms;
+}
+
+double PowerMeter::AverageWatts() const {
+  return duration_ms_ == 0 ? 0.0 : total_watt_ms_ / duration_ms_;
+}
+
+double PowerMeter::AverageWatts(double start_ms, double end_ms) const {
+  RTDVS_CHECK_LT(start_ms, end_ms);
+  double watt_ms = 0;
+  double covered = 0;
+  for (const auto& seg : segments_) {
+    double lo = std::max(seg.start_ms, start_ms);
+    double hi = std::min(seg.end_ms, end_ms);
+    if (hi > lo) {
+      watt_ms += seg.watts * (hi - lo);
+      covered += hi - lo;
+    }
+  }
+  return covered == 0 ? 0.0 : watt_ms / covered;
+}
+
+}  // namespace rtdvs

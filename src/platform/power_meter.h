@@ -1,0 +1,42 @@
+// The measurement rig of Figure 15: battery removed, a current probe on the
+// DC adapter feeding a digital oscilloscope whose long-duration acquisition
+// averages true power over 15-30 second intervals.
+#ifndef SRC_PLATFORM_POWER_METER_H_
+#define SRC_PLATFORM_POWER_METER_H_
+
+#include <vector>
+
+namespace rtdvs {
+
+class PowerMeter {
+ public:
+  // Records that the system drew `watts` over [start_ms, end_ms).
+  // Segments must be appended in non-decreasing time order.
+  void Accumulate(double start_ms, double end_ms, double watts);
+
+  // True average power over everything recorded (the oscilloscope's
+  // long-acquisition mean).
+  double AverageWatts() const;
+  // Average over a window, for transient inspection.
+  double AverageWatts(double start_ms, double end_ms) const;
+
+  double TotalJoules() const { return total_watt_ms_ / 1000.0; }
+  double DurationMs() const { return duration_ms_; }
+
+  struct Segment {
+    double start_ms;
+    double end_ms;
+    double watts;
+  };
+  // The recorded (merged) power waveform; feeds e.g. the thermal model.
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+  double total_watt_ms_ = 0;
+  double duration_ms_ = 0;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_PLATFORM_POWER_METER_H_

@@ -1,0 +1,22 @@
+#include "src/platform/system_power.h"
+
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+std::string SystemPowerModel::Table1() const {
+  SystemPowerModel m = *this;  // local copy to toggle screen/disk states
+  std::string out = "CPU subsystem  Screen  Disk      Power\n";
+  m.screen_on = true;
+  m.disk_spinning = true;
+  out += StrFormat("Idle           On      Spinning  %.1f W\n", m.HaltedWatts());
+  m.disk_spinning = false;
+  out += StrFormat("Idle           On      Standby   %.1f W\n", m.HaltedWatts());
+  m.screen_on = false;
+  out += StrFormat("Idle           Off     Standby   %.1f W\n", m.HaltedWatts());
+  out += StrFormat("Max. Load      Off     Standby   %.1f W\n",
+                   m.ActiveWatts(m.cpu_max_mhz, m.cpu_max_volt));
+  return out;
+}
+
+}  // namespace rtdvs

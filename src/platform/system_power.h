@@ -1,0 +1,57 @@
+// Whole-system power model of the prototype platform (HP N3350 laptop),
+// calibrated from Table 1 of the paper:
+//
+//   CPU subsystem   Screen  Disk      Power
+//   Idle            On      Spinning  13.5 W
+//   Idle            On      Standby   13.0 W
+//   Idle            Off     Standby    7.1 W
+//   Max. Load       Off     Standby   27.3 W
+//
+// Decomposition: a 7.1 W irreducible floor (system board + halted CPU), a
+// 5.9 W backlit screen, a 0.5 W spinning disk, and a CPU active swing of
+// 20.2 W at the maximum operating point (550 MHz, 2.0 V) that scales with
+// f * V^2 like any CMOS part.
+#ifndef SRC_PLATFORM_SYSTEM_POWER_H_
+#define SRC_PLATFORM_SYSTEM_POWER_H_
+
+#include <string>
+
+namespace rtdvs {
+
+struct SystemPowerModel {
+  double floor_w = 7.1;          // board + halted CPU, screen off, disk standby
+  double screen_w = 5.9;         // backlighting
+  double disk_w = 0.5;           // spindle
+  double cpu_active_max_w = 20.2;  // CPU swing at f_max, V_max over halted
+  double cpu_max_mhz = 550.0;
+  double cpu_max_volt = 2.0;
+
+  bool screen_on = false;   // the paper measured with backlighting off
+  bool disk_spinning = false;
+
+  // CPU active-power swing at (mhz, volts): cycles/s scale with f, energy
+  // per cycle with V^2.
+  double CpuActiveWatts(double mhz, double volts) const {
+    return cpu_active_max_w * (mhz / cpu_max_mhz) *
+           (volts * volts) / (cpu_max_volt * cpu_max_volt);
+  }
+
+  double BaseWatts() const {
+    return floor_w + (screen_on ? screen_w : 0.0) + (disk_spinning ? disk_w : 0.0);
+  }
+
+  // Total system draw while the CPU executes at (mhz, volts).
+  double ActiveWatts(double mhz, double volts) const {
+    return BaseWatts() + CpuActiveWatts(mhz, volts);
+  }
+  // Total system draw while the CPU is halted (idle or mid-transition);
+  // the halted CPU is inside the floor.
+  double HaltedWatts() const { return BaseWatts(); }
+
+  // Renders the Table 1 rows this model reproduces.
+  std::string Table1() const;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_PLATFORM_SYSTEM_POWER_H_

@@ -1,0 +1,46 @@
+#include "src/platform/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : params_(params), temperature_c_(params.ambient_c), peak_c_(params.ambient_c) {
+  RTDVS_CHECK_GT(params_.resistance_c_per_w, 0.0);
+  RTDVS_CHECK_GT(params_.capacitance_j_per_c, 0.0);
+}
+
+double ThermalModel::SteadyStateC(double watts) const {
+  return params_.ambient_c + watts * params_.resistance_c_per_w;
+}
+
+void ThermalModel::Advance(double duration_ms, double watts) {
+  RTDVS_CHECK_GE(duration_ms, 0.0);
+  RTDVS_CHECK_GE(watts, 0.0);
+  if (duration_ms == 0) {
+    return;
+  }
+  // Exact solution of the first-order ODE over a constant-power segment:
+  // T(t) = T_ss + (T0 - T_ss) * exp(-t / tau), tau = R * C.
+  const double tau_ms = params_.resistance_c_per_w * params_.capacitance_j_per_c * 1000.0;
+  const double t_ss = SteadyStateC(watts);
+  const double t0 = temperature_c_;
+  const double decay = std::exp(-duration_ms / tau_ms);
+  temperature_c_ = t_ss + (t0 - t_ss) * decay;
+
+  // Peak within the segment is at whichever end is hotter (monotone curve).
+  peak_c_ = std::max(peak_c_, std::max(t0, temperature_c_));
+
+  // Exact integral of T over the segment for the running mean.
+  integral_c_ms_ += t_ss * duration_ms + (t0 - t_ss) * tau_ms * (1.0 - decay);
+  elapsed_ms_ += duration_ms;
+}
+
+double ThermalModel::MeanC() const {
+  return elapsed_ms_ == 0 ? temperature_c_ : integral_c_ms_ / elapsed_ms_;
+}
+
+}  // namespace rtdvs

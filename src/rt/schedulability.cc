@@ -1,0 +1,130 @@
+#include "src/rt/schedulability.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/time_eps.h"
+
+namespace rtdvs {
+
+namespace {
+
+// ceil(a/b) with a small tolerance so that exact multiples (10/5) do not
+// round up to one extra invocation due to floating-point noise.
+double CeilDiv(double a, double b) { return std::ceil(a / b - 1e-9); }
+
+}  // namespace
+
+bool EdfSchedulable(const TaskSet& tasks, double alpha) {
+  RTDVS_CHECK_GT(alpha, 0.0);
+  return ApproxLe(tasks.TotalUtilization(), alpha, 1e-9);
+}
+
+bool RmSchedulableSufficient(const TaskSet& tasks, double alpha) {
+  RTDVS_CHECK_GT(alpha, 0.0);
+  std::vector<int> order = tasks.IdsByPeriod();
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Task& ti = tasks.task(order[i]);
+    double demand = 0;
+    for (size_t j = 0; j <= i; ++j) {
+      const Task& tj = tasks.task(order[j]);
+      demand += CeilDiv(ti.period_ms, tj.period_ms) * tj.wcet_ms;
+    }
+    if (!ApproxLe(demand, alpha * ti.period_ms, 1e-9)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<double> RmResponseTime(const TaskSet& tasks, int id, double alpha) {
+  RTDVS_CHECK_GT(alpha, 0.0);
+  const Task& task = tasks.task(id);
+  std::vector<int> order = tasks.IdsByPeriod();
+  // Higher-priority tasks: those strictly before `id` in RM order.
+  std::vector<int> higher;
+  for (int other : order) {
+    if (other == id) {
+      break;
+    }
+    higher.push_back(other);
+  }
+  double response = task.wcet_ms / alpha;
+  for (int iter = 0; iter < 1000; ++iter) {
+    double next = task.wcet_ms / alpha;
+    for (int j : higher) {
+      const Task& tj = tasks.task(j);
+      next += CeilDiv(response, tj.period_ms) * tj.wcet_ms / alpha;
+    }
+    if (next > task.period_ms + kTimeEpsMs) {
+      return std::nullopt;  // already past the deadline; diverging
+    }
+    if (ApproxEq(next, response, 1e-9)) {
+      return next;
+    }
+    response = next;
+  }
+  return std::nullopt;  // did not converge within the deadline
+}
+
+bool RmSchedulableExact(const TaskSet& tasks, double alpha) {
+  for (int id = 0; id < tasks.size(); ++id) {
+    auto response = RmResponseTime(tasks, id, alpha);
+    if (!response.has_value() ||
+        !ApproxLe(*response, tasks.task(id).period_ms, 1e-9)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<OperatingPoint> StaticScalingPoint(const TaskSet& tasks,
+                                                 const MachineSpec& machine,
+                                                 SchedulerKind kind, bool exact_rm) {
+  for (const auto& point : machine.points()) {
+    bool ok = false;
+    switch (kind) {
+      case SchedulerKind::kEdf:
+        ok = EdfSchedulable(tasks, point.frequency);
+        break;
+      case SchedulerKind::kRm:
+        ok = exact_rm ? RmSchedulableExact(tasks, point.frequency)
+                      : RmSchedulableSufficient(tasks, point.frequency);
+        break;
+    }
+    if (ok) {
+      return point;
+    }
+  }
+  return std::nullopt;
+}
+
+double MinimalScalingFactor(const TaskSet& tasks, SchedulerKind kind, bool exact_rm) {
+  if (kind == SchedulerKind::kEdf) {
+    return tasks.TotalUtilization();
+  }
+  auto test = [&](double alpha) {
+    return exact_rm ? RmSchedulableExact(tasks, alpha)
+                    : RmSchedulableSufficient(tasks, alpha);
+  };
+  if (!test(1.0)) {
+    // Not schedulable even at full speed; report >1 so callers can detect it.
+    return 1.0 + kTimeEpsMs;
+  }
+  double lo = tasks.TotalUtilization();  // alpha below utilization can never pass
+  double hi = 1.0;
+  if (test(lo)) {
+    return lo;
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (test(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,51 @@
+// Schedulability tests under frequency scaling (Figure 1 of the paper).
+//
+// Scaling the clock by factor alpha in (0, 1] stretches every worst-case
+// computation time to C_i / alpha while periods are unaffected, so each test
+// takes alpha and checks the scaled task set.
+#ifndef SRC_RT_SCHEDULABILITY_H_
+#define SRC_RT_SCHEDULABILITY_H_
+
+#include <optional>
+
+#include "src/cpu/machine_spec.h"
+#include "src/rt/scheduler.h"
+#include "src/rt/task.h"
+
+namespace rtdvs {
+
+// EDF, exact (necessary and sufficient): sum_i C_i/P_i <= alpha.
+bool EdfSchedulable(const TaskSet& tasks, double alpha = 1.0);
+
+// RM, the sufficient ceiling-based test the paper scales in Figure 1:
+// for every task i (by period order), the worst-case demand of tasks with
+// priority >= i within P_i fits:  forall i: sum_{j<=i} ceil(P_i/P_j)*C_j <= alpha*P_i.
+bool RmSchedulableSufficient(const TaskSet& tasks, double alpha = 1.0);
+
+// RM, exact response-time analysis (Lehoczky/Audsley; our extension beyond
+// the paper): fixed-point iteration R_i = C_i/alpha + sum_{j higher}
+// ceil(R_i/P_j) * C_j/alpha, schedulable iff R_i <= P_i for all i.
+bool RmSchedulableExact(const TaskSet& tasks, double alpha = 1.0);
+
+// Worst-case response time of task `id` under RM at scaling alpha, or
+// nullopt when the iteration exceeds the period (unschedulable).
+std::optional<double> RmResponseTime(const TaskSet& tasks, int id, double alpha = 1.0);
+
+// Static voltage scaling (§2.3): the lowest operating point at which the
+// given test admits the task set, or nullopt if even full speed fails.
+// `exact_rm` selects response-time analysis instead of the paper's
+// sufficient test (ablation).
+std::optional<OperatingPoint> StaticScalingPoint(const TaskSet& tasks,
+                                                 const MachineSpec& machine,
+                                                 SchedulerKind kind,
+                                                 bool exact_rm = false);
+
+// The minimal feasible alpha itself (continuous, before snapping to a
+// machine's table): EDF -> total utilization; RM -> smallest alpha passing
+// the chosen test (found by binary search on the monotone test).
+double MinimalScalingFactor(const TaskSet& tasks, SchedulerKind kind,
+                            bool exact_rm = false);
+
+}  // namespace rtdvs
+
+#endif  // SRC_RT_SCHEDULABILITY_H_

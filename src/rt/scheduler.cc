@@ -1,0 +1,75 @@
+#include "src/rt/scheduler.h"
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+std::string SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kEdf:
+      return "EDF";
+    case SchedulerKind::kRm:
+      return "RM";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared selection loop: `higher(a, b)` returns true when a strictly
+// outranks b.
+template <typename HigherFn>
+size_t PickBy(const std::vector<Job>& jobs, HigherFn higher) {
+  size_t best = Scheduler::kNone;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].finished || jobs[i].suspended) {
+      continue;
+    }
+    if (best == Scheduler::kNone || higher(jobs[i], jobs[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t EdfScheduler::PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const {
+  (void)tasks;
+  return PickBy(jobs, [](const Job& a, const Job& b) {
+    if (a.deadline_ms != b.deadline_ms) {
+      return a.deadline_ms < b.deadline_ms;
+    }
+    if (a.task_id != b.task_id) {
+      return a.task_id < b.task_id;
+    }
+    return a.release_ms < b.release_ms;
+  });
+}
+
+size_t RmScheduler::PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const {
+  return PickBy(jobs, [&tasks](const Job& a, const Job& b) {
+    double pa = tasks.task(a.task_id).period_ms;
+    double pb = tasks.task(b.task_id).period_ms;
+    if (pa != pb) {
+      return pa < pb;
+    }
+    if (a.task_id != b.task_id) {
+      return a.task_id < b.task_id;
+    }
+    return a.release_ms < b.release_ms;
+  });
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kEdf:
+      return std::make_unique<EdfScheduler>();
+    case SchedulerKind::kRm:
+      return std::make_unique<RmScheduler>();
+  }
+  RTDVS_CHECK(false) << "unknown scheduler kind";
+  return nullptr;
+}
+
+}  // namespace rtdvs

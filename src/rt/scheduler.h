@@ -1,0 +1,55 @@
+// Preemptive priority schedulers: Earliest-Deadline-First (dynamic priority)
+// and Rate-Monotonic (static priority by period), the two schedulers the
+// paper integrates DVS with (§2.2).
+#ifndef SRC_RT_SCHEDULER_H_
+#define SRC_RT_SCHEDULER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rt/job.h"
+#include "src/rt/task.h"
+
+namespace rtdvs {
+
+enum class SchedulerKind {
+  kEdf,
+  kRm,
+};
+
+std::string SchedulerKindName(SchedulerKind kind);
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual SchedulerKind kind() const = 0;
+
+  // Returns the index (into `jobs`) of the job to run, or kNone when no job
+  // is runnable. Jobs flagged finished or suspended are skipped.
+  virtual size_t PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const = 0;
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+};
+
+// Highest priority = earliest absolute deadline; ties by task id, then by
+// release time (FIFO within a task).
+class EdfScheduler : public Scheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::kEdf; }
+  size_t PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const override;
+};
+
+// Highest priority = shortest period; ties by task id, FIFO within a task.
+class RmScheduler : public Scheduler {
+ public:
+  SchedulerKind kind() const override { return SchedulerKind::kRm; }
+  size_t PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const override;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind);
+
+}  // namespace rtdvs
+
+#endif  // SRC_RT_SCHEDULER_H_

@@ -1,0 +1,59 @@
+#include "src/rt/task.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+TaskSet::TaskSet(std::vector<Task> tasks) {
+  for (auto& task : tasks) {
+    AddTask(std::move(task));
+  }
+}
+
+int TaskSet::AddTask(Task task) {
+  RTDVS_CHECK_GT(task.period_ms, 0.0) << "task " << task.name;
+  RTDVS_CHECK_GT(task.wcet_ms, 0.0) << "task " << task.name;
+  RTDVS_CHECK_LE(task.wcet_ms, task.period_ms)
+      << "task " << task.name << ": WCET must not exceed period";
+  RTDVS_CHECK_GE(task.phase_ms, 0.0) << "task " << task.name;
+  if (task.name.empty()) {
+    task.name = StrFormat("T%zu", tasks_.size() + 1);
+  }
+  tasks_.push_back(std::move(task));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+double TaskSet::TotalUtilization() const {
+  double total = 0;
+  for (const auto& task : tasks_) {
+    total += task.utilization();
+  }
+  return total;
+}
+
+std::vector<int> TaskSet::IdsByPeriod() const {
+  std::vector<int> ids(tasks_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [this](int a, int b) {
+    return tasks_[static_cast<size_t>(a)].period_ms < tasks_[static_cast<size_t>(b)].period_ms;
+  });
+  return ids;
+}
+
+TaskSet TaskSet::PaperExample() {
+  return TaskSet({{"T1", 8.0, 3.0, 0.0}, {"T2", 10.0, 3.0, 0.0}, {"T3", 14.0, 1.0, 0.0}});
+}
+
+std::string TaskSet::ToString() const {
+  std::string out = StrFormat("TaskSet(n=%d, U=%.4f)", size(), TotalUtilization());
+  for (const auto& task : tasks_) {
+    out += StrFormat(" %s(C=%.4g,P=%.4g)", task.name.c_str(), task.wcet_ms, task.period_ms);
+  }
+  return out;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,60 @@
+// Periodic real-time task model (Liu & Layland, as used in §2.2 of the
+// paper): each task i has a period P_i and a worst-case computation time C_i
+// specified at the maximum processor frequency. The relative deadline equals
+// the period, tasks are independent, and invocations are released
+// back-to-back every P_i milliseconds starting at time 0 (plus an optional
+// phase for dynamically admitted tasks).
+#ifndef SRC_RT_TASK_H_
+#define SRC_RT_TASK_H_
+
+#include <string>
+#include <vector>
+
+namespace rtdvs {
+
+struct Task {
+  std::string name;
+  // Period (= relative deadline) in milliseconds.
+  double period_ms = 0;
+  // Worst-case computation time in milliseconds at maximum frequency.
+  double wcet_ms = 0;
+  // Release offset of the first invocation (0 for the classic model; used by
+  // the admission controller to defer a new task's first release, §4.3).
+  double phase_ms = 0;
+
+  double utilization() const { return wcet_ms / period_ms; }
+};
+
+// An immutable set of periodic tasks. Task ids are indices into the set.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<Task> tasks);
+
+  // Validates and appends; returns the new task's id.
+  int AddTask(Task task);
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  bool empty() const { return tasks_.empty(); }
+  const Task& task(int id) const { return tasks_[static_cast<size_t>(id)]; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  // Sum of C_i / P_i over all tasks.
+  double TotalUtilization() const;
+
+  // Task ids sorted by period ascending (rate-monotonic priority order);
+  // ties broken by id. Recomputed on each call — task sets are small.
+  std::vector<int> IdsByPeriod() const;
+
+  // The paper's running example (Table 2): C = {3, 3, 1}, P = {8, 10, 14}.
+  static TaskSet PaperExample();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_RT_TASK_H_

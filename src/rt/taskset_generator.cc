@@ -1,0 +1,97 @@
+#include "src/rt/taskset_generator.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+namespace {
+
+// Smallest WCET we accept (1 ns); below this, double noise in the simulator
+// dominates and the task is physically meaningless.
+constexpr double kMinWcetMs = 1e-6;
+
+double DrawThreeRange(Pcg32& rng, const TaskSetGeneratorOptions& opt) {
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return rng.UniformDouble(opt.short_lo_ms, opt.short_hi_ms);
+    case 1:
+      return rng.UniformDouble(opt.medium_lo_ms, opt.medium_hi_ms);
+    default:
+      return rng.UniformDouble(opt.long_lo_ms, opt.long_hi_ms);
+  }
+}
+
+// Snap to the 1 microsecond grid; releases then stay exact in doubles.
+double SnapToMicroseconds(double ms) { return std::round(ms * 1000.0) / 1000.0; }
+
+}  // namespace
+
+TaskSetGenerator::TaskSetGenerator(TaskSetGeneratorOptions options)
+    : options_(options) {
+  RTDVS_CHECK_GT(options_.num_tasks, 0);
+  RTDVS_CHECK_GT(options_.target_utilization, 0.0);
+  RTDVS_CHECK_LE(options_.target_utilization, 1.0);
+}
+
+TaskSet TaskSetGenerator::Generate(Pcg32& rng) const {
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    int n = options_.num_tasks;
+    std::vector<double> periods(static_cast<size_t>(n));
+    std::vector<double> raw_compute(static_cast<size_t>(n));
+    double raw_utilization = 0;
+    for (int i = 0; i < n; ++i) {
+      periods[i] = SnapToMicroseconds(DrawThreeRange(rng, options_));
+      raw_compute[i] = DrawThreeRange(rng, options_);
+      raw_utilization += raw_compute[i] / periods[i];
+    }
+    double scale = options_.target_utilization / raw_utilization;
+
+    bool valid = true;
+    TaskSet set;
+    for (int i = 0; i < n && valid; ++i) {
+      double wcet = raw_compute[i] * scale;
+      if (wcet > periods[i] || wcet < kMinWcetMs) {
+        valid = false;
+        break;
+      }
+      set.AddTask({StrFormat("T%d", i + 1), periods[i], wcet, 0.0});
+    }
+    if (valid) {
+      return set;
+    }
+  }
+  RTDVS_CHECK(false) << "failed to generate a valid task set after "
+                     << options_.max_attempts << " attempts (n=" << options_.num_tasks
+                     << ", U=" << options_.target_utilization << ")";
+  return TaskSet();
+}
+
+TaskSet GenerateUUniFast(int num_tasks, double target_utilization, Pcg32& rng) {
+  RTDVS_CHECK_GT(num_tasks, 0);
+  RTDVS_CHECK_GT(target_utilization, 0.0);
+  RTDVS_CHECK_LE(target_utilization, 1.0);
+  TaskSetGeneratorOptions opt;  // reuse the paper's period distribution
+  // Bini & Buttazzo's UUniFast: recursively split the utilization budget.
+  std::vector<double> utils(static_cast<size_t>(num_tasks));
+  double remaining = target_utilization;
+  for (int i = 0; i < num_tasks - 1; ++i) {
+    double next = remaining * std::pow(rng.NextDouble(),
+                                       1.0 / static_cast<double>(num_tasks - 1 - i));
+    utils[i] = remaining - next;
+    remaining = next;
+  }
+  utils[static_cast<size_t>(num_tasks) - 1] = remaining;
+
+  TaskSet set;
+  for (int i = 0; i < num_tasks; ++i) {
+    double period = SnapToMicroseconds(DrawThreeRange(rng, opt));
+    double wcet = std::max(utils[i] * period, 1e-6);
+    set.AddTask({StrFormat("T%d", i + 1), period, wcet, 0.0});
+  }
+  return set;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,76 @@
+// Result types produced by a simulation run.
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cpu/operating_point.h"
+#include "src/rt/aperiodic.h"
+#include "src/rt/scheduler.h"
+#include "src/sim/trace.h"
+
+namespace rtdvs {
+
+// Per-task outcome statistics.
+struct TaskStats {
+  int64_t releases = 0;
+  int64_t completions = 0;
+  int64_t deadline_misses = 0;
+  double executed_work = 0;
+  double max_response_ms = 0;
+  double total_response_ms = 0;  // over completed invocations
+
+  double MeanResponseMs() const {
+    return completions == 0 ? 0.0 : total_response_ms / static_cast<double>(completions);
+  }
+};
+
+// Time and energy spent at one operating point.
+struct PointResidency {
+  OperatingPoint point;
+  double exec_ms = 0;
+  double idle_ms = 0;
+  double exec_energy = 0;
+  double idle_energy = 0;
+};
+
+struct SimResult {
+  std::string policy_name;
+  SchedulerKind scheduler = SchedulerKind::kEdf;
+  double horizon_ms = 0;
+
+  double exec_energy = 0;
+  double idle_energy = 0;
+  double total_energy() const { return exec_energy + idle_energy; }
+
+  double busy_ms = 0;
+  double idle_ms = 0;
+  double switching_ms = 0;  // halted during voltage/frequency transitions
+  double total_work_executed = 0;
+
+  int64_t releases = 0;
+  int64_t completions = 0;
+  int64_t deadline_misses = 0;
+  int64_t speed_switches = 0;
+  int64_t preemptions = 0;
+
+  // §3.2 theoretical bound for this run's actual workload over the horizon.
+  double lower_bound_energy = 0;
+
+  std::vector<PointResidency> residency;
+  std::vector<TaskStats> task_stats;
+  Trace trace;  // populated only when SimOptions::record_trace
+
+  // Aperiodic server outcome (valid when server_task_id >= 0).
+  int server_task_id = -1;
+  AperiodicStats aperiodic;
+
+  // Short single-line summary for logs and examples.
+  std::string Summary() const;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_SIM_METRICS_H_

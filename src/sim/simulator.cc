@@ -1,0 +1,533 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/cpu/lower_bound.h"
+#include "src/util/check.h"
+#include "src/util/strings.h"
+#include "src/util/time_eps.h"
+
+namespace rtdvs {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+// SpeedController implementation: counts transitions, models the mandatory
+// halt interval, and records trace events.
+class Simulator::Speed : public SpeedController {
+ public:
+  explicit Speed(Simulator* sim) : sim_(sim), point_(sim->machine_.max_point()) {}
+
+  void SetOperatingPoint(const OperatingPoint& point) override {
+    // Validate that policies only request points that exist on this machine.
+    sim_->machine_.IndexOf(point);
+    if (point == point_) {
+      return;
+    }
+    point_ = point;
+    ++sim_->result_.speed_switches;
+    if (sim_->options_.switch_time_ms > 0) {
+      blocked_until_ =
+          std::max(blocked_until_, sim_->now_ + sim_->options_.switch_time_ms);
+    }
+    if (sim_->options_.record_trace) {
+      sim_->result_.trace.AddEvent(
+          {sim_->now_, TraceEventKind::kSpeedChange, -1, point_});
+    }
+  }
+
+  const OperatingPoint& current() const override { return point_; }
+
+  Simulator* sim_;
+  OperatingPoint point_;
+  // Execution resumes only after this time (mandatory stop interval, §4.1).
+  double blocked_until_ = 0;
+};
+
+Simulator::Simulator(TaskSet tasks, MachineSpec machine, DvsPolicy* policy,
+                     ExecTimeModel* exec_model, SimOptions options)
+    : tasks_(std::move(tasks)),
+      machine_(std::move(machine)),
+      policy_(policy),
+      exec_model_(exec_model),
+      options_(options),
+      scheduler_(MakeScheduler(policy->scheduler_kind())),
+      energy_(options.idle_level, options.energy_coefficient),
+      rng_(options.seed) {
+  RTDVS_CHECK(policy_ != nullptr);
+  RTDVS_CHECK(exec_model_ != nullptr);
+  RTDVS_CHECK_GT(options_.horizon_ms, 0.0);
+  RTDVS_CHECK(!tasks_.empty()) << "cannot simulate an empty task set";
+  RTDVS_CHECK_GE(options_.switch_time_ms, 0.0);
+  if (options_.aperiodic.kind != ServerKind::kNone) {
+    // The server is an ordinary periodic task as far as schedulers,
+    // schedulability tests and DVS policies are concerned.
+    server_task_id_ = tasks_.AddTask({"server", options_.aperiodic.period_ms,
+                                      options_.aperiodic.budget_ms, 0.0});
+    aperiodic_.emplace(options_.aperiodic, options_.seed ^ 0xa9e210d1cULL);
+  }
+}
+
+Simulator::~Simulator() = default;
+
+double Simulator::NextReleaseTime() const {
+  double t = kInf;
+  for (const auto& state : task_states_) {
+    t = std::min(t, state.next_release_ms);
+  }
+  return t;
+}
+
+double Simulator::EarliestActiveDeadlineAfter(double now) const {
+  double t = kInf;
+  for (const auto& job : jobs_) {
+    if (!job.finished && job.deadline_ms > now + kTimeEpsMs) {
+      t = std::min(t, job.deadline_ms);
+    }
+  }
+  return t;
+}
+
+double Simulator::EffectiveRemaining(const Job& job) const {
+  if (IsServerJob(job)) {
+    return aperiodic_->ServableWork();
+  }
+  return job.RemainingActualWork();
+}
+
+void Simulator::FinalizeJobCompletion(Job* job, double now) {
+  job->finished = true;
+  job->completion_ms = now;
+  if (IsServerJob(*job)) {
+    // What the server actually consumed is what DVS bookkeeping (cc_i in
+    // ccEDF) may reclaim until the next replenishment.
+    job->actual_work = job->executed_work;
+  }
+  auto& stats = result_.task_stats[static_cast<size_t>(job->task_id)];
+  ++stats.completions;
+  ++result_.completions;
+  double response = now - job->release_ms;
+  stats.total_response_ms += response;
+  stats.max_response_ms = std::max(stats.max_response_ms, response);
+  task_states_[static_cast<size_t>(job->task_id)].last_actual_work = job->actual_work;
+  if (options_.record_trace) {
+    result_.trace.AddEvent({now, TraceEventKind::kCompletion, job->task_id, {}});
+  }
+}
+
+bool Simulator::MaybeCompleteServerJob(Job* job, double now) {
+  if (job->finished) {
+    return false;
+  }
+  switch (options_.aperiodic.kind) {
+    case ServerKind::kPolling:
+      // The polling server forfeits its remaining budget the moment it has
+      // nothing to serve.
+      if (aperiodic_->QueueEmpty() || aperiodic_->budget_remaining() <= kWorkEps) {
+        aperiodic_->ForfeitBudget();
+        FinalizeJobCompletion(job, now);
+        return true;
+      }
+      break;
+    case ServerKind::kDeferrable:
+      // The deferrable server keeps unused budget until its deadline.
+      if (aperiodic_->budget_remaining() <= kWorkEps) {
+        FinalizeJobCompletion(job, now);
+        return true;
+      }
+      break;
+    case ServerKind::kCbs:
+      // The CBS activation ends when the queue drains; budget exhaustion
+      // postpones the deadline instead (handled in the event loop).
+      if (aperiodic_->QueueEmpty()) {
+        FinalizeJobCompletion(job, now);
+        return true;
+      }
+      break;
+    case ServerKind::kNone:
+      break;
+  }
+  return false;
+}
+
+void Simulator::ReleaseDueJobs(double now, std::vector<int>* released) {
+  for (int id = 0; id < tasks_.size(); ++id) {
+    auto& state = task_states_[static_cast<size_t>(id)];
+    const Task& task = tasks_.task(id);
+    while (state.next_release_ms <= now + kTimeEpsMs) {
+      double fraction = 1.0;
+      if (id != server_task_id_) {
+        fraction = exec_model_->DrawFraction(id, state.next_invocation, rng_);
+      } else {
+        aperiodic_->Replenish();
+      }
+      RTDVS_CHECK_GT(fraction, 0.0);
+      Job job;
+      job.task_id = id;
+      job.invocation = state.next_invocation;
+      job.release_ms = state.next_release_ms;
+      job.deadline_ms = state.next_release_ms + task.period_ms;
+      job.wcet_work = task.wcet_ms;
+      job.actual_work = fraction * task.wcet_ms;
+      jobs_.push_back(job);
+      ++state.next_invocation;
+      state.next_release_ms += task.period_ms;
+      ++result_.releases;
+      ++result_.task_stats[static_cast<size_t>(id)].releases;
+      if (options_.record_trace) {
+        result_.trace.AddEvent({job.release_ms, TraceEventKind::kRelease, id, {}});
+      }
+      released->push_back(id);
+    }
+  }
+}
+
+void Simulator::BuildContext(double now) {
+  ctx_.now_ms = now;
+  ctx_.tasks = &tasks_;
+  ctx_.machine = &machine_;
+  ctx_.views.resize(static_cast<size_t>(tasks_.size()));
+  for (int id = 0; id < tasks_.size(); ++id) {
+    auto& view = ctx_.views[static_cast<size_t>(id)];
+    const auto& state = task_states_[static_cast<size_t>(id)];
+    view.has_active_job = false;
+    view.next_deadline_ms = state.next_release_ms;
+    view.executed_in_invocation = 0;
+    view.worst_case_remaining = 0;
+    view.cumulative_executed = state.cumulative_executed;
+    view.last_actual_work = state.last_actual_work;
+  }
+  // Earliest unfinished job per task defines the "current invocation".
+  for (const auto& job : jobs_) {
+    if (job.finished) {
+      continue;
+    }
+    auto& view = ctx_.views[static_cast<size_t>(job.task_id)];
+    if (!view.has_active_job || job.release_ms < view.next_deadline_ms) {
+      view.has_active_job = true;
+      view.next_deadline_ms = job.deadline_ms;
+      view.executed_in_invocation = job.executed_work;
+      view.worst_case_remaining = job.RemainingWorstCaseWork();
+    }
+  }
+}
+
+SimResult Simulator::Run() {
+  RTDVS_CHECK(!ran_) << "Simulator::Run may be called once";
+  ran_ = true;
+
+  const int n = tasks_.size();
+  task_states_.assign(static_cast<size_t>(n), TaskState{});
+  result_.task_stats.assign(static_cast<size_t>(n), TaskStats{});
+  for (int id = 0; id < n; ++id) {
+    task_states_[static_cast<size_t>(id)].next_release_ms = tasks_.task(id).phase_ms;
+    task_states_[static_cast<size_t>(id)].last_actual_work = tasks_.task(id).wcet_ms;
+  }
+  if (options_.aperiodic.kind == ServerKind::kCbs) {
+    // A CBS has no periodic releases; its activations are created by the
+    // wake/postpone rules in the event loop.
+    task_states_[static_cast<size_t>(server_task_id_)].next_release_ms = kInf;
+  }
+  result_.policy_name = policy_->name();
+  result_.scheduler = policy_->scheduler_kind();
+  result_.horizon_ms = options_.horizon_ms;
+  result_.residency.clear();
+  for (const auto& point : machine_.points()) {
+    result_.residency.push_back(PointResidency{point, 0, 0, 0, 0});
+  }
+  result_.trace.set_capacity_limit(options_.max_trace_segments);
+
+  speed_ = std::make_unique<Speed>(this);
+  now_ = 0;
+
+  BuildContext(now_);
+  policy_->OnStart(ctx_, *speed_);
+  std::optional<double> wakeup = policy_->NextWakeupMs(ctx_);
+
+  int64_t previous_running_invocation = -1;
+  int previous_running_task = -1;
+  bool was_idle = false;
+
+  while (now_ < options_.horizon_ms - kTimeEpsMs) {
+    // A server job holding budget with an empty queue is not runnable.
+    if (aperiodic_.has_value()) {
+      for (auto& job : jobs_) {
+        if (IsServerJob(job) && !job.finished) {
+          job.suspended = EffectiveRemaining(job) <= kWorkEps;
+        }
+      }
+    }
+    size_t running = scheduler_->PickJob(jobs_, tasks_);
+
+    // Preemption accounting: a different unfinished job takes over while the
+    // previous one still has work left.
+    if (running != Scheduler::kNone) {
+      const Job& job = jobs_[running];
+      if (previous_running_task >= 0 &&
+          (job.task_id != previous_running_task ||
+           job.invocation != previous_running_invocation)) {
+        // Was the previously running job still unfinished?
+        for (const auto& other : jobs_) {
+          if (other.task_id == previous_running_task &&
+              other.invocation == previous_running_invocation && !other.finished) {
+            ++result_.preemptions;
+            break;
+          }
+        }
+      }
+      previous_running_task = job.task_id;
+      previous_running_invocation = job.invocation;
+    }
+
+    // --- Find the next event. ---
+    double t_next = options_.horizon_ms;
+    t_next = std::min(t_next, NextReleaseTime());
+    t_next = std::min(t_next, EarliestActiveDeadlineAfter(now_));
+    if (wakeup.has_value() && *wakeup > now_ + kTimeEpsMs) {
+      t_next = std::min(t_next, *wakeup);
+    }
+    if (aperiodic_.has_value() && aperiodic_->NextArrivalMs() > now_ + kTimeEpsMs) {
+      t_next = std::min(t_next, aperiodic_->NextArrivalMs());
+    }
+    double exec_start = now_;
+    if (running != Scheduler::kNone) {
+      exec_start = std::max(now_, speed_->blocked_until_);
+      double frequency = speed_->current().frequency;
+      double completion =
+          exec_start + EffectiveRemaining(jobs_[running]) / frequency;
+      t_next = std::min(t_next, completion);
+    }
+    RTDVS_CHECK_GT(t_next, now_ - kTimeEpsMs)
+        << "event horizon moved backwards at t=" << now_;
+    t_next = std::max(t_next, now_);
+    t_next = std::min(t_next, options_.horizon_ms);
+
+    // --- Integrate the segment [now_, t_next). ---
+    const OperatingPoint point = speed_->current();
+    if (running != Scheduler::kNone) {
+      exec_start = std::min(std::max(exec_start, now_), t_next);
+      double switch_dt = exec_start - now_;
+      if (switch_dt > 0) {
+        // Halted during a transition: time passes, (almost) no energy (§3.1).
+        result_.switching_ms += switch_dt;
+        if (options_.record_trace) {
+          result_.trace.AddSegment({now_, exec_start, CpuState::kSwitching, -1, point});
+        }
+      }
+      double exec_dt = t_next - exec_start;
+      if (exec_dt > 0) {
+        Job& job = jobs_[running];
+        double work = exec_dt * point.frequency;
+        // Rounding guard: never execute more than the job has left.
+        work = std::min(work, EffectiveRemaining(job));
+        if (IsServerJob(job)) {
+          aperiodic_->Execute(work, t_next, point.frequency);
+        }
+        job.executed_work += work;
+        task_states_[static_cast<size_t>(job.task_id)].cumulative_executed += work;
+        result_.task_stats[static_cast<size_t>(job.task_id)].executed_work += work;
+        result_.total_work_executed += work;
+        result_.busy_ms += exec_dt;
+        double joules = energy_.ExecutionEnergy(work, point);
+        result_.exec_energy += joules;
+        auto& res = result_.residency[machine_.IndexOf(point)];
+        res.exec_ms += exec_dt;
+        res.exec_energy += joules;
+        if (options_.record_trace) {
+          result_.trace.AddSegment(
+              {exec_start, t_next, CpuState::kExecuting, job.task_id, point});
+        }
+      }
+    } else {
+      double idle_dt = t_next - now_;
+      if (idle_dt > 0) {
+        result_.idle_ms += idle_dt;
+        double joules = energy_.IdleEnergy(idle_dt, point);
+        result_.idle_energy += joules;
+        auto& res = result_.residency[machine_.IndexOf(point)];
+        res.idle_ms += idle_dt;
+        res.idle_energy += joules;
+        if (options_.record_trace) {
+          result_.trace.AddSegment({now_, t_next, CpuState::kIdle, -1, point});
+        }
+      }
+    }
+    now_ = t_next;
+    if (now_ >= options_.horizon_ms - kTimeEpsMs) {
+      break;
+    }
+
+    // --- Apply state changes due at now_: arrivals, completions, misses,
+    // releases. ---
+    if (aperiodic_.has_value()) {
+      aperiodic_->AdmitArrivals(now_);
+    }
+    std::vector<int> completed;
+    for (auto& job : jobs_) {
+      if (job.finished) {
+        continue;
+      }
+      if (IsServerJob(job)) {
+        if (MaybeCompleteServerJob(&job, now_)) {
+          completed.push_back(job.task_id);
+        }
+      } else if (job.RemainingActualWork() <= kWorkEps) {
+        FinalizeJobCompletion(&job, now_);
+        completed.push_back(job.task_id);
+      }
+    }
+    std::vector<int> released;
+    // CBS management: wake on arrivals, postpone on budget exhaustion.
+    // Either action manifests as completion/release pairs so DVS policies
+    // observe the server exactly like any periodic task.
+    if (options_.aperiodic.kind == ServerKind::kCbs) {
+      Job* active_server = nullptr;
+      for (auto& job : jobs_) {
+        if (IsServerJob(job) && !job.finished) {
+          active_server = &job;
+          break;
+        }
+      }
+      if (active_server != nullptr &&
+          (aperiodic_->budget_remaining() <= kWorkEps ||
+           active_server->deadline_ms <= now_ + kTimeEpsMs)) {
+        FinalizeJobCompletion(active_server, now_);
+        completed.push_back(active_server->task_id);
+        double new_deadline = aperiodic_->CbsPostpone();
+        Job replacement;
+        replacement.task_id = server_task_id_;
+        replacement.invocation =
+            task_states_[static_cast<size_t>(server_task_id_)].next_invocation++;
+        replacement.release_ms = now_;
+        replacement.deadline_ms = new_deadline;
+        replacement.wcet_work = options_.aperiodic.budget_ms;
+        replacement.actual_work = options_.aperiodic.budget_ms;
+        jobs_.push_back(replacement);
+        ++result_.releases;
+        ++result_.task_stats[static_cast<size_t>(server_task_id_)].releases;
+        released.push_back(server_task_id_);
+      } else if (active_server == nullptr && !aperiodic_->QueueEmpty()) {
+        double deadline = aperiodic_->CbsWake(now_);
+        Job job;
+        job.task_id = server_task_id_;
+        job.invocation =
+            task_states_[static_cast<size_t>(server_task_id_)].next_invocation++;
+        job.release_ms = now_;
+        job.deadline_ms = deadline;
+        job.wcet_work = options_.aperiodic.budget_ms;
+        job.actual_work = options_.aperiodic.budget_ms;
+        jobs_.push_back(job);
+        ++result_.releases;
+        ++result_.task_stats[static_cast<size_t>(server_task_id_)].releases;
+        released.push_back(server_task_id_);
+      }
+    }
+    for (auto& job : jobs_) {
+      if (job.finished || job.deadline_ms > now_ + kTimeEpsMs) {
+        continue;
+      }
+      if (IsServerJob(job)) {
+        // A server has no deadline obligation of its own: at the end of its
+        // period the old budget expires and the job simply retires.
+        FinalizeJobCompletion(&job, now_);
+        completed.push_back(job.task_id);
+        continue;
+      }
+      if (!job.missed) {
+        job.missed = true;
+        ++result_.deadline_misses;
+        ++result_.task_stats[static_cast<size_t>(job.task_id)].deadline_misses;
+        if (options_.record_trace) {
+          result_.trace.AddEvent({now_, TraceEventKind::kDeadlineMiss, job.task_id, {}});
+        }
+        if (options_.miss_policy == MissPolicy::kAbortJob) {
+          job.finished = true;
+          job.completion_ms = now_;
+          // Aborted jobs do not count as completions and record no response.
+        }
+      }
+    }
+    ReleaseDueJobs(now_, &released);
+
+    // A freshly released polling-server job with an empty queue retires on
+    // the spot (its completion callback must follow its release callback).
+    std::vector<int> completed_after_release;
+    if (aperiodic_.has_value()) {
+      for (auto& job : jobs_) {
+        if (IsServerJob(job) && !job.finished && MaybeCompleteServerJob(&job, now_)) {
+          completed_after_release.push_back(job.task_id);
+        }
+      }
+    }
+
+    // Drop finished jobs (after stats were recorded above).
+    jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                               [](const Job& job) { return job.finished; }),
+                jobs_.end());
+
+    // --- Policy callbacks: completions first, then releases. ---
+    BuildContext(now_);
+    for (int task_id : completed) {
+      policy_->OnTaskCompletion(task_id, ctx_, *speed_);
+    }
+    for (int task_id : released) {
+      policy_->OnTaskRelease(task_id, ctx_, *speed_);
+    }
+    for (int task_id : completed_after_release) {
+      policy_->OnTaskCompletion(task_id, ctx_, *speed_);
+    }
+
+    // Timer wakeup (non-RT interval baseline).
+    if (wakeup.has_value() && *wakeup <= now_ + kTimeEpsMs) {
+      policy_->OnWakeup(ctx_, *speed_);
+    }
+    wakeup = policy_->NextWakeupMs(ctx_);
+
+    // Idle notification: fires once per idle period.
+    bool any_unfinished = false;
+    for (const auto& job : jobs_) {
+      if (!job.finished) {
+        any_unfinished = true;
+        break;
+      }
+    }
+    if (!any_unfinished && !was_idle) {
+      policy_->OnIdle(ctx_, *speed_);
+      if (options_.record_trace) {
+        result_.trace.AddEvent({now_, TraceEventKind::kIdleStart, -1, {}});
+      }
+    }
+    was_idle = !any_unfinished;
+  }
+
+  result_.lower_bound_energy = MinimumExecutionEnergy(
+      result_.total_work_executed, options_.horizon_ms, machine_,
+      EnergyModel(0.0, options_.energy_coefficient));
+  result_.server_task_id = server_task_id_;
+  if (aperiodic_.has_value()) {
+    aperiodic_->FinalizeStats();
+    result_.aperiodic = aperiodic_->stats();
+  }
+  return result_;
+}
+
+SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
+                        DvsPolicy& policy, ExecTimeModel& exec_model,
+                        const SimOptions& options) {
+  Simulator sim(tasks, machine, &policy, &exec_model, options);
+  return sim.Run();
+}
+
+std::string SimResult::Summary() const {
+  return StrFormat(
+      "%s: energy=%.4g (exec=%.4g idle=%.4g, bound=%.4g) misses=%lld "
+      "releases=%lld switches=%lld busy=%.1fms idle=%.1fms",
+      policy_name.c_str(), total_energy(), exec_energy, idle_energy,
+      lower_bound_energy, static_cast<long long>(deadline_misses),
+      static_cast<long long>(releases), static_cast<long long>(speed_switches),
+      busy_ms, idle_ms);
+}
+
+}  // namespace rtdvs

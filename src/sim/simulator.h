@@ -1,0 +1,123 @@
+// Event-driven simulator for DVS-capable hardware with real-time scheduling
+// (§3.1 of the paper). Execution is modelled by counting work (cycles
+// normalized to milliseconds at maximum frequency); the only events are task
+// releases, task completions, deadline checks, policy timer wakeups, and the
+// horizon — between events the processor state is constant, so energy
+// integrates in closed form.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <optional>
+
+#include "src/cpu/energy_model.h"
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/policy.h"
+#include "src/rt/aperiodic.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/job.h"
+#include "src/rt/scheduler.h"
+#include "src/rt/task.h"
+#include "src/sim/metrics.h"
+
+namespace rtdvs {
+
+// What happens to a job whose deadline passes before it completes.
+enum class MissPolicy {
+  // Keep executing; the tardy job finishes late (Unix-like behaviour).
+  kContinueLate,
+  // Abandon remaining work at the deadline (firm real-time semantics).
+  kAbortJob,
+};
+
+struct SimOptions {
+  double horizon_ms = 10'000.0;
+  // Ratio of halted-cycle to active-cycle energy (§3.1 "idle level").
+  double idle_level = 0.0;
+  // Energy units per work-unit at 1 V; scales all reported energies.
+  double energy_coefficient = 1.0;
+  MissPolicy miss_policy = MissPolicy::kContinueLate;
+  // Wall time the processor halts on every operating-point change (§4.1
+  // measured ~0.4 ms for voltage transitions). 0 = ideal instantaneous.
+  double switch_time_ms = 0.0;
+  bool record_trace = false;
+  size_t max_trace_segments = 1u << 20;
+  // Seed for the execution-time model's randomness.
+  uint64_t seed = 1;
+  // Optional aperiodic server (footnote 1 of the paper): when kind is not
+  // kNone, the simulator appends a periodic "server" task of the given
+  // period/budget to the task set and serves the configured arrival stream
+  // through it. Schedulers, schedulability tests and DVS policies see the
+  // server as an ordinary periodic task, so deadline guarantees for the
+  // real periodic tasks are preserved.
+  AperiodicServerConfig aperiodic;
+};
+
+class Simulator {
+ public:
+  // `policy` and `exec_model` must outlive Run(); they are mutated (policies
+  // keep bookkeeping, models consume randomness).
+  Simulator(TaskSet tasks, MachineSpec machine, DvsPolicy* policy,
+            ExecTimeModel* exec_model, SimOptions options);
+  ~Simulator();  // out of line: Speed is an incomplete type here
+
+  // Runs the full horizon and returns the metrics. May be called once.
+  SimResult Run();
+
+ private:
+  class Speed;  // SpeedController implementation
+
+  struct TaskState {
+    double next_release_ms = 0;
+    int64_t next_invocation = 0;
+    double cumulative_executed = 0;
+    double last_actual_work = 0;  // defaults to C_i
+  };
+
+  void ReleaseDueJobs(double now, std::vector<int>* released);
+  void BuildContext(double now);
+  double EarliestActiveDeadlineAfter(double now) const;
+  double NextReleaseTime() const;
+  bool IsServerJob(const Job& job) const {
+    return server_task_id_ >= 0 && job.task_id == server_task_id_;
+  }
+  // Remaining work the running job can execute right now (queue/budget
+  // limited for the server job, actual remaining otherwise).
+  double EffectiveRemaining(const Job& job) const;
+  // Applies the server completion rule to an active server job; returns
+  // true (and finalizes the job) when it completes.
+  bool MaybeCompleteServerJob(Job* job, double now);
+  void FinalizeJobCompletion(Job* job, double now);
+
+  TaskSet tasks_;
+  MachineSpec machine_;
+  DvsPolicy* policy_;
+  ExecTimeModel* exec_model_;
+  SimOptions options_;
+
+  std::unique_ptr<Scheduler> scheduler_;
+  EnergyModel energy_;
+  Pcg32 rng_;
+
+  std::vector<TaskState> task_states_;
+  std::vector<Job> jobs_;
+  PolicyContext ctx_;
+  SimResult result_;
+  std::unique_ptr<Speed> speed_;
+  std::optional<AperiodicServerState> aperiodic_;
+  int server_task_id_ = -1;
+  double now_ = 0;
+  bool ran_ = false;
+};
+
+// Convenience wrapper: builds the policy's matching scheduler and runs.
+SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
+                        DvsPolicy& policy, ExecTimeModel& exec_model,
+                        const SimOptions& options);
+
+}  // namespace rtdvs
+
+#endif  // SRC_SIM_SIMULATOR_H_

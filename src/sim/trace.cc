@@ -1,0 +1,132 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/util/time_eps.h"
+
+namespace rtdvs {
+
+void Trace::AddSegment(const TraceSegment& segment) {
+  if (truncated_) {
+    return;
+  }
+  if (segment.end_ms <= segment.start_ms + kTimeEpsMs) {
+    return;  // zero-length; nothing to record
+  }
+  if (!segments_.empty()) {
+    TraceSegment& last = segments_.back();
+    if (last.state == segment.state && last.task_id == segment.task_id &&
+        last.point == segment.point && ApproxEq(last.end_ms, segment.start_ms)) {
+      last.end_ms = segment.end_ms;
+      return;
+    }
+  }
+  if (segments_.size() >= max_segments_) {
+    truncated_ = true;
+    return;
+  }
+  segments_.push_back(segment);
+}
+
+void Trace::AddEvent(const TraceEvent& event) {
+  if (truncated_ || events_.size() >= max_segments_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(event);
+}
+
+namespace {
+
+const char* EventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRelease:
+      return "release";
+    case TraceEventKind::kCompletion:
+      return "complete";
+    case TraceEventKind::kDeadlineMiss:
+      return "MISS";
+    case TraceEventKind::kSpeedChange:
+      return "speed";
+    case TraceEventKind::kIdleStart:
+      return "idle";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Trace::RenderGantt(const TaskSet& tasks, int columns, double end_ms) const {
+  if (segments_.empty()) {
+    return "(empty trace)\n";
+  }
+  if (end_ms <= 0) {
+    end_ms = segments_.back().end_ms;
+  }
+  RTDVS_CHECK_GT(end_ms, 0.0);
+  columns = std::max(columns, 10);
+  auto col_of = [&](double t) {
+    int c = static_cast<int>(std::floor(t / end_ms * columns));
+    return std::clamp(c, 0, columns - 1);
+  };
+
+  // Frequency row: show the dominant frequency per column as a digit 0-9
+  // (tenths of full speed).
+  std::string freq_row(static_cast<size_t>(columns), ' ');
+  // One row per task (# = executing), plus an idle row.
+  std::vector<std::string> rows(static_cast<size_t>(tasks.size()) + 1,
+                                std::string(static_cast<size_t>(columns), '.'));
+  for (const auto& seg : segments_) {
+    if (seg.start_ms >= end_ms) {
+      continue;
+    }
+    int c0 = col_of(seg.start_ms);
+    int c1 = col_of(std::min(seg.end_ms, end_ms) - kTimeEpsMs);
+    for (int c = c0; c <= c1; ++c) {
+      int digit = std::clamp(static_cast<int>(std::lround(seg.point.frequency * 10.0)), 0, 9);
+      freq_row[static_cast<size_t>(c)] =
+          seg.state == CpuState::kIdle ? '-' : static_cast<char>('0' + digit);
+      if (seg.state == CpuState::kExecuting && seg.task_id >= 0) {
+        rows[static_cast<size_t>(seg.task_id)][static_cast<size_t>(c)] = '#';
+      } else if (seg.state == CpuState::kIdle) {
+        rows[static_cast<size_t>(tasks.size())][static_cast<size_t>(c)] = '_';
+      } else if (seg.state == CpuState::kSwitching) {
+        rows[static_cast<size_t>(tasks.size())][static_cast<size_t>(c)] = 's';
+      }
+    }
+  }
+
+  std::string out;
+  out += StrFormat("%-6s|%s|\n", "f/10", freq_row.c_str());
+  for (int id = 0; id < tasks.size(); ++id) {
+    out += StrFormat("%-6s|%s|\n", tasks.task(id).name.c_str(),
+                     rows[static_cast<size_t>(id)].c_str());
+  }
+  out += StrFormat("%-6s|%s|\n", "idle", rows[static_cast<size_t>(tasks.size())].c_str());
+  out += StrFormat("%-6s 0%*s\n", "t(ms)", columns - 1,
+                   FormatDouble(end_ms, 2).c_str());
+  return out;
+}
+
+std::string Trace::RenderList(const TaskSet& tasks) const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    const char* what = seg.state == CpuState::kExecuting
+                           ? tasks.task(seg.task_id).name.c_str()
+                           : (seg.state == CpuState::kIdle ? "idle" : "switch");
+    out += StrFormat("[%9.4f, %9.4f) f=%.3g %s\n", seg.start_ms, seg.end_ms,
+                     seg.point.frequency, what);
+  }
+  for (const auto& event : events_) {
+    out += StrFormat("@%9.4f %s%s%s\n", event.time_ms, EventKindName(event.kind),
+                     event.task_id >= 0 ? " " : "",
+                     event.task_id >= 0 ? tasks.task(event.task_id).name.c_str() : "");
+  }
+  return out;
+}
+
+}  // namespace rtdvs

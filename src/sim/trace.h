@@ -1,0 +1,75 @@
+// Execution trace recording and ASCII Gantt rendering, used to reproduce
+// the paper's example figures (2, 3, 5, 7) and for debugging.
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cpu/operating_point.h"
+#include "src/rt/task.h"
+
+namespace rtdvs {
+
+enum class CpuState {
+  kExecuting,
+  kIdle,
+  kSwitching,  // halted during a voltage/frequency transition
+};
+
+struct TraceSegment {
+  double start_ms = 0;
+  double end_ms = 0;
+  CpuState state = CpuState::kIdle;
+  int task_id = -1;  // valid when state == kExecuting
+  OperatingPoint point;
+};
+
+enum class TraceEventKind {
+  kRelease,
+  kCompletion,
+  kDeadlineMiss,
+  kSpeedChange,
+  kIdleStart,
+};
+
+struct TraceEvent {
+  double time_ms = 0;
+  TraceEventKind kind = TraceEventKind::kRelease;
+  int task_id = -1;  // -1 for events not tied to a task
+  OperatingPoint point;  // valid for kSpeedChange
+};
+
+class Trace {
+ public:
+  // Appends a segment, merging with the previous one when contiguous and
+  // identical in (state, task, point).
+  void AddSegment(const TraceSegment& segment);
+  void AddEvent(const TraceEvent& event);
+
+  void set_capacity_limit(size_t max_segments) { max_segments_ = max_segments; }
+  bool truncated() const { return truncated_; }
+
+  const std::vector<TraceSegment>& segments() const { return segments_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Renders the paper-figure style view: one row per task plus an idle row,
+  // a frequency row on top, time ticks below. `columns` characters span
+  // [0, end_ms] (end of the last segment when 0).
+  std::string RenderGantt(const TaskSet& tasks, int columns = 76,
+                          double end_ms = 0) const;
+
+  // One line per segment / event, for golden tests.
+  std::string RenderList(const TaskSet& tasks) const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+  std::vector<TraceEvent> events_;
+  size_t max_segments_ = 1u << 20;
+  bool truncated_ = false;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_SIM_TRACE_H_

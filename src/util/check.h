@@ -1,0 +1,67 @@
+// Lightweight invariant-checking macros.
+//
+// RTDVS_CHECK is always on (including release builds): simulator state
+// corruption must abort rather than silently produce bogus energy numbers.
+// RTDVS_DCHECK compiles out in NDEBUG builds and is meant for hot paths.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rtdvs {
+
+[[noreturn]] inline void FatalError(const char* file, int line, const char* expr,
+                                    const std::string& message) {
+  std::fprintf(stderr, "FATAL %s:%d: CHECK failed: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream-capture helper so call sites can write RTDVS_CHECK(x) << "context".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { FatalError(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rtdvs
+
+#define RTDVS_CHECK(condition)                                         \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::rtdvs::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define RTDVS_CHECK_OP(lhs, op, rhs) \
+  RTDVS_CHECK((lhs)op(rhs)) << " (" << (lhs) << " vs " << (rhs) << ") "
+#define RTDVS_CHECK_EQ(lhs, rhs) RTDVS_CHECK_OP(lhs, ==, rhs)
+#define RTDVS_CHECK_NE(lhs, rhs) RTDVS_CHECK_OP(lhs, !=, rhs)
+#define RTDVS_CHECK_LE(lhs, rhs) RTDVS_CHECK_OP(lhs, <=, rhs)
+#define RTDVS_CHECK_LT(lhs, rhs) RTDVS_CHECK_OP(lhs, <, rhs)
+#define RTDVS_CHECK_GE(lhs, rhs) RTDVS_CHECK_OP(lhs, >=, rhs)
+#define RTDVS_CHECK_GT(lhs, rhs) RTDVS_CHECK_OP(lhs, >, rhs)
+
+#ifdef NDEBUG
+#define RTDVS_DCHECK(condition) RTDVS_CHECK(true || (condition))
+#else
+#define RTDVS_DCHECK(condition) RTDVS_CHECK(condition)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

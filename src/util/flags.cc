@@ -1,0 +1,145 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace rtdvs {
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::AddDouble(const std::string& name, double* target, const std::string& help) {
+  RTDVS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, FormatDouble(*target, 6), false,
+                        [target](const std::string& text) {
+                          auto value = ParseDouble(text);
+                          if (!value) {
+                            return false;
+                          }
+                          *target = *value;
+                          return true;
+                        }});
+}
+
+void FlagSet::AddInt64(const std::string& name, int64_t* target, const std::string& help) {
+  RTDVS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, std::to_string(*target), false,
+                        [target](const std::string& text) {
+                          auto value = ParseInt(text);
+                          if (!value) {
+                            return false;
+                          }
+                          *target = *value;
+                          return true;
+                        }});
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  RTDVS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, *target, false, [target](const std::string& text) {
+                          *target = text;
+                          return true;
+                        }});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target, const std::string& help) {
+  RTDVS_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, *target ? "true" : "false", true,
+                        [target](const std::string& text) {
+                          if (text == "true" || text == "1" || text.empty()) {
+                            *target = true;
+                          } else if (text == "false" || text == "0") {
+                            *target = false;
+                          } else {
+                            return false;
+                          }
+                          return true;
+                        }});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n", arg.c_str());
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    const Flag* flag = Find(name);
+    bool negated = false;
+    if (flag == nullptr && StartsWith(name, "no-")) {
+      flag = Find(name.substr(3));
+      if (flag != nullptr && flag->is_bool) {
+        negated = true;
+      } else {
+        flag = nullptr;
+      }
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "error: unknown flag --%s (try --help)\n", name.c_str());
+      return false;
+    }
+
+    if (negated) {
+      RTDVS_CHECK(flag->setter("false"));
+      continue;
+    }
+    if (!has_value) {
+      if (flag->is_bool) {
+        RTDVS_CHECK(flag->setter("true"));
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!flag->setter(value)) {
+      std::fprintf(stderr, "error: invalid value '%s' for flag --%s\n", value.c_str(),
+                   name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlagSet::PrintUsage(const std::string& program_name) const {
+  std::fprintf(stderr, "%s\n\nusage: %s [flags]\n\nflags:\n", description_.c_str(),
+               program_name.c_str());
+  for (const auto& flag : flags_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", flag.name.c_str(),
+                 flag.help.c_str(), flag.default_text.c_str());
+  }
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,50 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supports --name=value and --name value forms, plus --help. Bool flags also
+// accept bare --name / --no-name. Unknown flags are an error so typos in a
+// long experiment command line fail loudly instead of silently running the
+// default configuration.
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rtdvs {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description);
+
+  void AddDouble(const std::string& name, double* target, const std::string& help);
+  void AddInt64(const std::string& name, int64_t* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target, const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  // Parses argv. Returns false (after printing usage or an error) if the
+  // program should exit; positional arguments are rejected.
+  [[nodiscard]] bool Parse(int argc, char** argv);
+
+  void PrintUsage(const std::string& program_name) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_text;
+    bool is_bool = false;
+    // Returns false if the value fails to parse.
+    std::function<bool(const std::string&)> setter;
+  };
+
+  const Flag* Find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_UTIL_FLAGS_H_

@@ -1,0 +1,45 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rtdvs {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, const char* file, int line, const std::string& message) {
+  // Strip directories for readability; paths are repo-root-relative anyway.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
+}
+
+}  // namespace internal
+}  // namespace rtdvs

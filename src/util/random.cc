@@ -1,0 +1,24 @@
+#include "src/util/random.h"
+
+namespace rtdvs {
+
+size_t Pcg32::WeightedIndex(const std::vector<double>& weights) {
+  RTDVS_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    RTDVS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  RTDVS_CHECK_GT(total, 0.0);
+  double r = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,93 @@
+// PCG32 pseudo-random number generator (O'Neill, 2014).
+//
+// Deterministic and seedable so that every experiment in EXPERIMENTS.md is
+// exactly reproducible from its command line. We deliberately avoid
+// std::mt19937 + std::uniform_real_distribution because their outputs are not
+// guaranteed identical across standard-library implementations.
+#ifndef SRC_UTIL_RANDOM_H_
+#define SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  // Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  // Uniform in [0, bound) without modulo bias.
+  uint32_t NextBounded(uint32_t bound) {
+    RTDVS_CHECK_GT(bound, 0u);
+    uint32_t threshold = (-bound) % bound;
+    while (true) {
+      uint32_t r = NextU32();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    // 53 random bits -> uniform double with full mantissa resolution.
+    uint64_t hi = NextU32();
+    uint64_t lo = NextU32();
+    uint64_t bits = ((hi << 32) | lo) >> 11;
+    return static_cast<double>(bits) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    RTDVS_CHECK_LE(lo, hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    RTDVS_CHECK_LE(lo, hi);
+    auto span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<int64_t>((static_cast<uint64_t>(NextU32()) << 32) | NextU32());
+    }
+    // Two 32-bit draws give enough entropy for any span we use (<= 2^33).
+    uint64_t r = (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+    return lo + static_cast<int64_t>(r % span);
+  }
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Derives an independent child generator; used to give each task set its
+  // own stream so adding sweep points does not perturb earlier ones.
+  Pcg32 Fork() {
+    uint64_t seed = (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+    uint64_t stream = (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+    return Pcg32(seed, stream);
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_UTIL_RANDOM_H_

@@ -1,0 +1,55 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+void RunningStats::Add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  RTDVS_CHECK(!samples.empty());
+  RTDVS_CHECK_GE(p, 0.0);
+  RTDVS_CHECK_LE(p, 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  auto lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,40 @@
+// Streaming and batch summary statistics used by the benchmark harnesses.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rtdvs {
+
+// Welford's online algorithm: numerically stable mean/variance without
+// storing samples. Used for per-sweep-point aggregation across task sets.
+class RunningStats {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Linear-interpolated percentile (p in [0,100]) of a sample vector.
+// The input is copied and sorted; intended for end-of-run reporting.
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace rtdvs
+
+#endif  // SRC_UTIL_STATS_H_

@@ -1,0 +1,106 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+
+std::string FormatDouble(double value, int precision) {
+  std::string text = StrFormat("%.*f", precision, value);
+  if (text.find('.') != std::string::npos) {
+    size_t last = text.find_last_not_of('0');
+    if (text[last] == '.') {
+      --last;
+    }
+    text.erase(last + 1);
+  }
+  return text;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  RTDVS_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    cells.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(cells));
+}
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != 'E' && c != 'n' && c != 'a') {  // allow nan
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out << "  ";
+      }
+      const std::string& cell = row[i];
+      size_t pad = widths[i] - cell.size();
+      if (LooksNumeric(cell)) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void TextTable::PrintCsv(std::ostream& out, const std::string& prefix) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << prefix;
+    for (const auto& cell : row) {
+      out << "," << cell;
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace rtdvs

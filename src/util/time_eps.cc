@@ -1,0 +1,15 @@
+#include "src/util/time_eps.h"
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+double ClampTinyNegative(double value, double eps) {
+  if (value >= 0) {
+    return value;
+  }
+  RTDVS_CHECK_GE(value, -eps) << "value is negative beyond rounding tolerance";
+  return 0.0;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,116 @@
+#include "src/core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+Scenario Ok(std::variant<Scenario, std::string> result) {
+  if (!std::holds_alternative<Scenario>(result)) {
+    ADD_FAILURE() << std::get<std::string>(result);
+    return Scenario{};
+  }
+  return std::get<Scenario>(std::move(result));
+}
+
+std::string Err(const std::variant<Scenario, std::string>& result) {
+  EXPECT_TRUE(std::holds_alternative<std::string>(result));
+  return std::holds_alternative<std::string>(result) ? std::get<std::string>(result)
+                                                     : "";
+}
+
+TEST(Scenario, ParsesTasksMachineAndComments) {
+  auto result = ParseScenario(R"(
+# a comment
+machine machine2
+task a 10 3 c=0.5   # trailing comment
+task b 50 10
+)");
+  const Scenario& scenario = Ok(result);
+  EXPECT_EQ(scenario.machine.name(), "machine2");
+  ASSERT_EQ(scenario.tasks.size(), 2);
+  EXPECT_EQ(scenario.tasks.task(0).name, "a");
+  EXPECT_DOUBLE_EQ(scenario.tasks.task(0).period_ms, 10.0);
+  EXPECT_DOUBLE_EQ(scenario.tasks.task(1).wcet_ms, 10.0);
+  EXPECT_EQ(scenario.demand_specs[0], "c=0.5");
+  EXPECT_EQ(scenario.demand_specs[1], "");
+  EXPECT_EQ(scenario.server.kind, ServerKind::kNone);
+}
+
+TEST(Scenario, DefaultsToMachine0) {
+  const Scenario& scenario = Ok(ParseScenario("task t 10 1\n"));
+  EXPECT_EQ(scenario.machine.name(), "machine0");
+}
+
+TEST(Scenario, ParsesServerLine) {
+  const Scenario& scenario = Ok(ParseScenario(
+      "task t 10 1\nserver cbs 20 4 interarrival=30 service=2 maxservice=6\n"));
+  EXPECT_EQ(scenario.server.kind, ServerKind::kCbs);
+  EXPECT_DOUBLE_EQ(scenario.server.period_ms, 20.0);
+  EXPECT_DOUBLE_EQ(scenario.server.budget_ms, 4.0);
+  EXPECT_DOUBLE_EQ(scenario.server.arrivals.mean_interarrival_ms, 30.0);
+  EXPECT_DOUBLE_EQ(scenario.server.arrivals.mean_service_ms, 2.0);
+  EXPECT_DOUBLE_EQ(scenario.server.arrivals.max_service_ms, 6.0);
+}
+
+TEST(Scenario, ErrorsCarryLineNumbers) {
+  EXPECT_NE(Err(ParseScenario("task t 10 1\nbogus line\n")).find("line 2"),
+            std::string::npos);
+  EXPECT_NE(Err(ParseScenario("machine marsrover\n")).find("unknown machine"),
+            std::string::npos);
+  EXPECT_NE(Err(ParseScenario("task t 10 20\n")).find("wcet"), std::string::npos);
+  EXPECT_NE(Err(ParseScenario("task t 10 1 d=?\n")).find("demand"),
+            std::string::npos);
+  EXPECT_NE(Err(ParseScenario("task t 10 1\nserver magic 10 1\n"))
+                .find("server kind"),
+            std::string::npos);
+  EXPECT_NE(Err(ParseScenario("task t 10 1\nserver cbs 10 1 wat=3\n"))
+                .find("unknown server option"),
+            std::string::npos);
+  EXPECT_NE(Err(ParseScenario("")).find("no tasks"), std::string::npos);
+}
+
+TEST(Scenario, DemandModelSyntax) {
+  EXPECT_NE(MakeDemandModel(""), nullptr);
+  EXPECT_NE(MakeDemandModel("c=0.9"), nullptr);
+  EXPECT_NE(MakeDemandModel("uniform"), nullptr);
+  EXPECT_NE(MakeDemandModel("uniform=0.2,0.8"), nullptr);
+  EXPECT_NE(MakeDemandModel("bimodal=0.3,0.05"), nullptr);
+  EXPECT_NE(MakeDemandModel("cold=2.5"), nullptr);
+  EXPECT_EQ(MakeDemandModel("c=1.5"), nullptr);
+  EXPECT_EQ(MakeDemandModel("uniform=0.8,0.2"), nullptr);
+  EXPECT_EQ(MakeDemandModel("bimodal=0.3"), nullptr);
+  EXPECT_EQ(MakeDemandModel("cold=0.5"), nullptr);
+  EXPECT_EQ(MakeDemandModel("quux=1"), nullptr);
+}
+
+TEST(Scenario, ExecModelDispatchesPerTask) {
+  const Scenario& scenario =
+      Ok(ParseScenario("task a 10 2 c=0.5\ntask b 10 2 c=0.25\n"));
+  auto model = scenario.MakeExecModel();
+  Pcg32 rng(1);
+  EXPECT_DOUBLE_EQ(model->DrawFraction(0, 0, rng), 0.5);
+  EXPECT_DOUBLE_EQ(model->DrawFraction(1, 0, rng), 0.25);
+  // Beyond the declared tasks (e.g. the auto-appended server): worst case.
+  EXPECT_DOUBLE_EQ(model->DrawFraction(2, 0, rng), 1.0);
+}
+
+TEST(Scenario, ShippedScenarioFilesParse) {
+  for (const char* path : {"examples/scenarios/camcorder.scn",
+                           "examples/scenarios/paper_table2.scn"}) {
+    auto result = LoadScenarioFile(path);
+    EXPECT_TRUE(std::holds_alternative<Scenario>(result))
+        << path << ": "
+        << (std::holds_alternative<std::string>(result)
+                ? std::get<std::string>(result)
+                : "");
+  }
+}
+
+TEST(Scenario, MissingFileIsAnError) {
+  EXPECT_NE(Err(LoadScenarioFile("/nonexistent/x.scn")).find("cannot open"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtdvs

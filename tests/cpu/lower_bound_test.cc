@@ -1,0 +1,105 @@
+#include "src/cpu/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(LowerBound, AllWorkFitsAtLowestFrequency) {
+  // 10 units of work over 100 ms on machine 0: 0.5 covers it (needs 20 ms
+  // of wall time), so everything runs at 3 V.
+  double energy = MinimumExecutionEnergy(10.0, 100.0, MachineSpec::Machine0());
+  EXPECT_DOUBLE_EQ(energy, 10.0 * 9.0);
+}
+
+TEST(LowerBound, ZeroWorkCostsNothing) {
+  EXPECT_DOUBLE_EQ(MinimumExecutionEnergy(0.0, 10.0, MachineSpec::Machine0()), 0.0);
+}
+
+TEST(LowerBound, ExactTwoPointMix) {
+  // W = 60 over T = 100 on machine 0: rate 0.6 sits between 0.5 and 0.75.
+  // Both constraints tight: w/0.5 + (60-w)/0.75 = 100  =>  w = 30 at each
+  // point, energy 30*9 + 30*16 = 750 (beats 860 for the 0.5/1.0 pair and
+  // 960 for running everything at 0.75).
+  auto mix = MinimumExecutionEnergyMix(60.0, 100.0, MachineSpec::Machine0());
+  EXPECT_DOUBLE_EQ(mix.low.frequency, 0.5);
+  EXPECT_DOUBLE_EQ(mix.high.frequency, 0.75);
+  EXPECT_NEAR(mix.work_at_low, 30.0, 1e-9);
+  EXPECT_NEAR(mix.work_at_high, 30.0, 1e-9);
+  EXPECT_NEAR(mix.energy, 750.0, 1e-9);
+}
+
+TEST(LowerBound, FullLoadRunsAtMaximum) {
+  double energy = MinimumExecutionEnergy(100.0, 100.0, MachineSpec::Machine0());
+  EXPECT_NEAR(energy, 100.0 * 25.0, 1e-6);
+}
+
+TEST(LowerBound, InfeasibleLoadStillBounded) {
+  double energy = MinimumExecutionEnergy(200.0, 100.0, MachineSpec::Machine0());
+  EXPECT_DOUBLE_EQ(energy, 200.0 * 25.0);
+}
+
+TEST(LowerBound, EnergyCoefficientScalesResult) {
+  EnergyModel scaled(0.0, 2.5);
+  EXPECT_DOUBLE_EQ(
+      MinimumExecutionEnergy(10.0, 100.0, MachineSpec::Machine0(), scaled),
+      10.0 * 9.0 * 2.5);
+}
+
+TEST(LowerBound, MonotoneInWorkAndAntitoneInTime) {
+  MachineSpec machine = MachineSpec::Machine2();
+  double previous = 0;
+  for (double work = 5; work <= 100; work += 5) {
+    double energy = MinimumExecutionEnergy(work, 100.0, machine);
+    EXPECT_GE(energy, previous);
+    previous = energy;
+  }
+  // More time never costs more energy.
+  for (double horizon = 50; horizon <= 200; horizon += 25) {
+    EXPECT_LE(MinimumExecutionEnergy(40.0, horizon + 25, machine),
+              MinimumExecutionEnergy(40.0, horizon, machine) + 1e-9);
+  }
+}
+
+// Property: the LP solution is never beaten by any single-frequency or
+// random two-frequency feasible mix.
+TEST(LowerBound, NeverBeatenByRandomFeasibleMixes) {
+  Pcg32 rng(123);
+  MachineSpec machine = MachineSpec::Machine2();
+  for (int trial = 0; trial < 200; ++trial) {
+    double horizon = rng.UniformDouble(10, 200);
+    double work = rng.UniformDouble(0, horizon);  // feasible (rate <= 1)
+    double optimal = MinimumExecutionEnergy(work, horizon, machine);
+    // Random feasible split across two random points.
+    const auto& points = machine.points();
+    const auto& a = points[rng.NextBounded(static_cast<uint32_t>(points.size()))];
+    const auto& b = points[rng.NextBounded(static_cast<uint32_t>(points.size()))];
+    double wa = rng.UniformDouble(0, work);
+    double wb = work - wa;
+    if (wa / a.frequency + wb / b.frequency <= horizon) {
+      double candidate = wa * a.EnergyPerWorkUnit() + wb * b.EnergyPerWorkUnit();
+      EXPECT_LE(optimal, candidate + 1e-9);
+    }
+  }
+}
+
+TEST(EnergyModel, IdleAndExecutionFormulas) {
+  EnergyModel model(0.5, 2.0);
+  OperatingPoint p{0.75, 4.0};
+  EXPECT_DOUBLE_EQ(model.ExecutionEnergy(3.0, p), 3.0 * 16.0 * 2.0);
+  // Idle: t * f * V^2 * idle_level * coeff.
+  EXPECT_DOUBLE_EQ(model.IdleEnergy(2.0, p), 2.0 * 0.75 * 16.0 * 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(model.ActivePower(p), 0.75 * 16.0 * 2.0);
+  EXPECT_DOUBLE_EQ(model.IdlePower(p), 0.75 * 16.0 * 0.5 * 2.0);
+}
+
+TEST(EnergyModelDeathTest, RejectsInvalidParameters) {
+  EXPECT_DEATH(EnergyModel(-0.1, 1.0), "CHECK failed");
+  EXPECT_DEATH(EnergyModel(1.1, 1.0), "CHECK failed");
+  EXPECT_DEATH(EnergyModel(0.0, 0.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

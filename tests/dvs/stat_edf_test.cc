@@ -1,0 +1,126 @@
+#include "src/dvs/stat_edf_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/taskset_generator.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(StatEdf, FactoryIdAndName) {
+  auto policy = MakePolicy("stat_edf");
+  EXPECT_EQ(policy->name(), "statEDF(p95)");
+  EXPECT_EQ(policy->scheduler_kind(), SchedulerKind::kEdf);
+  EXPECT_TRUE(policy->lowers_speed_when_idle());
+}
+
+TEST(StatEdf, ConstantDemandIsMissFreeAndAtLeastAsGoodAsCcEdf) {
+  // With deterministic execution times the warm-history percentile equals
+  // the true demand, so statEDF charges a released task its ACTUAL need
+  // where ccEDF still charges the worst case until completion: statEDF
+  // never misses (the estimate is never exceeded) and uses no more energy.
+  TaskSet tasks({{"a", 10.0, 4.0, 0.0}, {"b", 25.0, 5.0, 0.0}});
+  SimOptions options;
+  options.horizon_ms = 3000.0;
+  auto stat = MakePolicy("stat_edf");
+  ConstantFractionModel model_a(0.5);
+  SimResult stat_result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *stat, model_a, options);
+  auto cc = MakePolicy("cc_edf");
+  ConstantFractionModel model_b(0.5);
+  SimResult cc_result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *cc, model_b, options);
+  EXPECT_EQ(stat_result.deadline_misses, 0);
+  EXPECT_LE(stat_result.total_energy(), cc_result.total_energy() + 1e-6);
+  EXPECT_GE(stat_result.total_energy(), stat_result.lower_bound_energy - 1e-6);
+}
+
+TEST(StatEdf, LowPercentileSavesEnergyOverCcEdf) {
+  // Heavy-tailed demand: the 50th percentile budget runs much slower.
+  TaskSet tasks({{"a", 10.0, 6.0, 0.0}, {"b", 40.0, 12.0, 0.0}});
+  SimOptions options;
+  options.horizon_ms = 8000.0;
+  options.seed = 42;
+
+  StatEdfOptions stat_options;
+  stat_options.percentile = 50.0;
+  StatEdfPolicy stat(stat_options);
+  BimodalFractionModel model_a(0.4, 0.05);
+  SimResult stat_result =
+      RunSimulation(tasks, MachineSpec::Machine0(), stat, model_a, options);
+
+  auto cc = MakePolicy("cc_edf");
+  BimodalFractionModel model_b(0.4, 0.05);
+  SimResult cc_result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *cc, model_b, options);
+
+  EXPECT_LT(stat_result.total_energy(), cc_result.total_energy());
+  EXPECT_EQ(cc_result.deadline_misses, 0);
+  // Soft guarantee: some misses are allowed, but the insurance re-charge
+  // keeps the rate small.
+  EXPECT_LT(static_cast<double>(stat_result.deadline_misses) /
+                static_cast<double>(stat_result.releases),
+            0.10);
+}
+
+TEST(StatEdf, MissRateDecreasesWithPercentile) {
+  TaskSetGeneratorOptions gen_options;
+  gen_options.num_tasks = 5;
+  gen_options.target_utilization = 0.85;
+  TaskSetGenerator generator(gen_options);
+  Pcg32 rng(11);
+  int64_t misses_p50 = 0;
+  int64_t misses_p99 = 0;
+  for (int s = 0; s < 8; ++s) {
+    TaskSet tasks = generator.Generate(rng);
+    SimOptions options;
+    options.horizon_ms = 4000.0;
+    options.seed = rng.NextU32();
+    for (double percentile : {50.0, 99.0}) {
+      StatEdfOptions stat_options;
+      stat_options.percentile = percentile;
+      StatEdfPolicy policy(stat_options);
+      BimodalFractionModel model(0.5, 0.05);
+      SimResult result =
+          RunSimulation(tasks, MachineSpec::Machine0(), policy, model, options);
+      (percentile == 50.0 ? misses_p50 : misses_p99) += result.deadline_misses;
+    }
+  }
+  EXPECT_LE(misses_p99, misses_p50);
+}
+
+TEST(StatEdf, ColdHistoryUsesWorstCase) {
+  StatEdfOptions options;
+  options.min_samples = 4;
+  StatEdfPolicy policy(options);
+  TaskSet tasks({{"a", 10.0, 5.0, 0.0}});
+  MachineSpec machine = MachineSpec::Machine0();
+  PolicyContext ctx;
+  ctx.tasks = &tasks;
+  ctx.machine = &machine;
+  ctx.views.resize(1);
+  class NullSpeed : public SpeedController {
+   public:
+    void SetOperatingPoint(const OperatingPoint& p) override { point_ = p; }
+    const OperatingPoint& current() const override { return point_; }
+    OperatingPoint point_{1.0, 5.0};
+  } speed;
+  policy.OnStart(ctx, speed);
+  EXPECT_DOUBLE_EQ(policy.EstimateFor(0, ctx), 5.0);
+}
+
+TEST(StatEdfDeathTest, ValidatesOptions) {
+  StatEdfOptions bad;
+  bad.percentile = 0.0;
+  EXPECT_DEATH(StatEdfPolicy{bad}, "CHECK failed");
+  bad.percentile = 101.0;
+  EXPECT_DEATH(StatEdfPolicy{bad}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

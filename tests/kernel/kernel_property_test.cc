@@ -1,0 +1,146 @@
+// Property tests on the kernel+platform substrate: the paper's guarantees
+// must survive register-level switch overheads, provided the overheads are
+// budgeted into the WCETs (§4.1) — and the substrate must agree with the
+// abstract simulator about who saves energy (§4.3, Figures 16 vs 17).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dvs/policy.h"
+#include "src/kernel/kernel.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/schedulability.h"
+#include "src/rt/taskset_generator.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+namespace {
+
+// Longer-period ranges keep the 0.82 ms switch pad a small fraction of
+// every WCET, mirroring the workloads the prototype measured.
+TaskSetGeneratorOptions KernelFriendlyOptions(double utilization) {
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 5;
+  options.target_utilization = utilization;
+  options.short_lo_ms = 20.0;
+  options.short_hi_ms = 50.0;
+  options.medium_lo_ms = 50.0;
+  options.medium_hi_ms = 200.0;
+  options.long_lo_ms = 200.0;
+  options.long_hi_ms = 1000.0;
+  return options;
+}
+
+double RunKernel(const TaskSet& tasks, const char* policy_id, double fraction,
+                 int64_t* misses) {
+  KernelOptions options;
+  options.admission_control = false;  // the test controls schedulability itself
+  Kernel kernel(options);
+  kernel.LoadPolicy(MakePolicy(policy_id));
+  for (const auto& task : tasks.tasks()) {
+    KernelTaskParams params;
+    params.name = task.name;
+    params.period_ms = task.period_ms;
+    params.wcet_ms = task.wcet_ms;
+    params.exec_model = std::make_unique<ConstantFractionModel>(fraction);
+    kernel.RegisterTask(std::move(params));
+  }
+  kernel.RunUntil(5000.0);
+  KernelReport report = kernel.Report();
+  EXPECT_FALSE(report.cpu_crashed);
+  *misses = report.deadline_misses;
+  return report.avg_system_watts;
+}
+
+TEST(KernelProperties, NoMissesWhenPaddedSetIsSchedulable) {
+  Pcg32 rng(0xfeed);
+  const double kPad = 2 * 10 * 4096.0 / (100.0 * 1000.0);
+  for (double utilization : {0.3, 0.5, 0.7}) {
+    TaskSetGenerator generator(KernelFriendlyOptions(utilization));
+    for (int s = 0; s < 6; ++s) {
+      TaskSet tasks = generator.Generate(rng);
+      // Build the padded view the kernel budgets with; only assert the
+      // guarantee when the padded set passes the relevant test.
+      TaskSet padded;
+      for (const auto& task : tasks.tasks()) {
+        padded.AddTask({task.name, task.period_ms,
+                        std::min(task.wcet_ms + kPad, task.period_ms), 0.0});
+      }
+      for (const char* id : {"cc_edf", "la_edf", "static_edf"}) {
+        if (!EdfSchedulable(padded, 1.0)) {
+          continue;
+        }
+        int64_t misses = 0;
+        (void)RunKernel(tasks, id, 1.0, &misses);
+        EXPECT_EQ(misses, 0) << id << " on " << tasks.ToString();
+      }
+      if (RmSchedulableSufficient(padded, 1.0)) {
+        for (const char* id : {"cc_rm", "static_rm"}) {
+          int64_t misses = 0;
+          (void)RunKernel(tasks, id, 1.0, &misses);
+          EXPECT_EQ(misses, 0) << id << " on " << tasks.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelProperties, SubstratesAgreeOnEnergyOrdering) {
+  // Figure 16 vs Figure 17: for the same task set, whenever the simulator
+  // says a DVS policy saves meaningfully over plain EDF, the register-level
+  // platform must agree (and vice versa never invert the sign).
+  Pcg32 rng(0xcafe);
+  TaskSetGenerator generator(KernelFriendlyOptions(0.5));
+  for (int s = 0; s < 5; ++s) {
+    TaskSet tasks = generator.Generate(rng);
+    // Simulator side (K6 machine spec, processor energy only).
+    SimOptions sim_options;
+    sim_options.horizon_ms = 5000.0;
+    auto run_sim = [&](const char* id) {
+      auto policy = MakePolicy(id);
+      ConstantFractionModel model(0.9);
+      return RunSimulation(tasks, MachineSpec::K6TwoPointFour(), *policy, model,
+                           sim_options)
+          .total_energy();
+    };
+    double sim_edf = run_sim("edf");
+    double sim_cc = run_sim("cc_edf");
+
+    int64_t misses = 0;
+    double watts_edf = RunKernel(tasks, "edf", 0.9, &misses);
+    double watts_cc = RunKernel(tasks, "cc_edf", 0.9, &misses);
+
+    EXPECT_LT(sim_cc, sim_edf + 1e-9);
+    EXPECT_LT(watts_cc, watts_edf + 1e-9);
+    // When the simulator predicts a >10% saving, the platform (which adds a
+    // constant board overhead, diluting percentages) still shows a saving.
+    if (sim_cc < 0.9 * sim_edf) {
+      EXPECT_LT(watts_cc, watts_edf * 0.995);
+    }
+  }
+}
+
+TEST(KernelProperties, TransitionsBoundedByInvocations) {
+  Pcg32 rng(0xbead);
+  TaskSetGenerator generator(KernelFriendlyOptions(0.6));
+  TaskSet tasks = generator.Generate(rng);
+  KernelOptions options;
+  Kernel kernel(options);
+  kernel.LoadPolicy(MakePolicy("la_edf"));
+  for (const auto& task : tasks.tasks()) {
+    KernelTaskParams params;
+    params.name = task.name;
+    params.period_ms = task.period_ms;
+    params.wcet_ms = task.wcet_ms;
+    params.exec_model = std::make_unique<UniformFractionModel>(0.0, 1.0);
+    kernel.RegisterTask(std::move(params));
+  }
+  kernel.RunUntil(5000.0);
+  KernelReport report = kernel.Report();
+  // §2.5: at most 2 switches per task per invocation (idle drops add a few).
+  EXPECT_LE(report.voltage_transitions + report.frequency_transitions,
+            2 * (report.releases + report.completions) + 2);
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,117 @@
+// Stress/fuzz tests of the kernel runtime: random interleavings of task
+// registration/unregistration, policy hot-swaps, procfs traffic and time
+// advancement must never corrupt accounting or crash the simulated CPU.
+// Also reproduces §4.3 observation 1 (the cold first invocation).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dvs/policy.h"
+#include "src/kernel/kernel.h"
+#include "src/rt/exec_time_model.h"
+#include "src/sim/simulator.h"
+#include "src/util/random.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(KernelStress, RandomLifecycleFuzz) {
+  Pcg32 rng(0x57e55);
+  const char* policies[] = {"edf",    "rm",     "static_edf", "static_rm",
+                            "cc_edf", "cc_rm",  "la_edf",     "stat_edf"};
+  for (int round = 0; round < 5; ++round) {
+    Kernel kernel(KernelOptions{});
+    std::vector<int> handles;
+    double now = 0;
+    for (int step = 0; step < 120; ++step) {
+      switch (rng.NextBounded(6)) {
+        case 0: {  // register a random task
+          KernelTaskParams params;
+          params.name = "fuzz";
+          params.period_ms = rng.UniformDouble(5.0, 200.0);
+          params.wcet_ms = rng.UniformDouble(0.05, 0.4) * params.period_ms;
+          params.exec_model =
+              std::make_unique<UniformFractionModel>(0.0, 1.0);
+          int handle = kernel.RegisterTask(std::move(params));
+          if (handle >= 0) {
+            handles.push_back(handle);
+          }
+          break;
+        }
+        case 1: {  // unregister a random task
+          if (!handles.empty()) {
+            size_t index = rng.NextBounded(static_cast<uint32_t>(handles.size()));
+            EXPECT_TRUE(kernel.UnregisterTask(handles[index]));
+            handles.erase(handles.begin() + static_cast<long>(index));
+          }
+          break;
+        }
+        case 2: {  // hot-swap the policy (sometimes unload entirely)
+          if (rng.NextBounded(8) == 0) {
+            kernel.LoadPolicy(nullptr);
+          } else {
+            kernel.LoadPolicy(MakePolicy(policies[rng.NextBounded(8)]));
+          }
+          break;
+        }
+        case 3: {  // procfs traffic
+          (void)kernel.procfs().Read("/proc/rtdvs/tasks");
+          (void)kernel.procfs().Read("/proc/rtdvs/stats");
+          (void)kernel.procfs().Read("/proc/powernow/ctl");
+          break;
+        }
+        default: {  // advance time
+          now += rng.UniformDouble(1.0, 150.0);
+          kernel.RunUntil(now);
+          break;
+        }
+      }
+    }
+    kernel.RunUntil(now + 500.0);
+    KernelReport report = kernel.Report();
+    EXPECT_FALSE(report.cpu_crashed);
+    // Time accounting must close: busy + idle + halts == elapsed.
+    EXPECT_NEAR(report.busy_ms + report.idle_ms + report.transition_halt_ms,
+                report.now_ms, 1e-6);
+    EXPECT_GE(report.completions, 0);
+    EXPECT_LE(report.completions, report.releases);
+    // The power meter covered the whole run.
+    EXPECT_NEAR(kernel.power_meter().DurationMs(), report.now_ms, 1e-6);
+  }
+}
+
+TEST(KernelStress, ColdFirstInvocationOverrunIsTransient) {
+  // §4.3 observation 1: "the very first invocation of a task may overrun
+  // its specified computing time bound ... caused by 'cold' processor and
+  // operating system state. ... On subsequent invocations, the state is
+  // 'warm', and this problem disappears."
+  //
+  // Firm-deadline semantics (drop the tardy invocation at its deadline)
+  // isolate the transient: with continue-late semantics an overrun breaks
+  // condition C2 outright and a tight set can lag indefinitely, because
+  // work beyond the declared worst case is invisible to every policy's
+  // bookkeeping — which is precisely why the paper calls the bound a
+  // CONDITION, not a suggestion.
+  TaskSet tasks({{"a", 10.0, 4.0, 0.0}, {"b", 20.0, 7.0, 0.0}});
+  auto policy = MakePolicy("la_edf");
+  ColdStartModel model(std::make_unique<ConstantFractionModel>(0.95), 1.6,
+                       /*allow_overrun=*/true);
+  SimOptions options;
+  options.horizon_ms = 10'000.0;
+  options.miss_policy = MissPolicy::kAbortJob;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::K6TwoPointFour(), *policy, model, options);
+  // The cold start produced at least one miss, and only around t=0: every
+  // miss event sits inside the first two hyperperiods.
+  EXPECT_GT(result.deadline_misses, 0);
+  EXPECT_LE(result.deadline_misses, 4);
+  // Warm steady state is miss-free: rerun without the cold factor.
+  auto policy2 = MakePolicy("la_edf");
+  ConstantFractionModel warm(0.95);
+  SimResult warm_result =
+      RunSimulation(tasks, MachineSpec::K6TwoPointFour(), *policy2, warm, options);
+  EXPECT_EQ(warm_result.deadline_misses, 0);
+}
+
+}  // namespace
+}  // namespace rtdvs

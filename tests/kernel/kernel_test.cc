@@ -1,0 +1,194 @@
+#include "src/kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+
+namespace rtdvs {
+namespace {
+
+KernelTaskParams Task(const char* name, double period, double wcet,
+                      double fraction = 1.0) {
+  KernelTaskParams params;
+  params.name = name;
+  params.period_ms = period;
+  params.wcet_ms = wcet;
+  params.exec_model = std::make_unique<ConstantFractionModel>(fraction);
+  return params;
+}
+
+TEST(Kernel, RunsPeriodicTasksWithoutMisses) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("cc_edf"));
+  EXPECT_GE(kernel.RegisterTask(Task("a", 20.0, 4.0, 0.7)), 0);
+  EXPECT_GE(kernel.RegisterTask(Task("b", 50.0, 10.0, 0.5)), 0);
+  kernel.RunUntil(2000.0);
+  KernelReport report = kernel.Report();
+  EXPECT_EQ(report.deadline_misses, 0);
+  EXPECT_EQ(report.releases, 100 + 40);
+  EXPECT_GT(report.completions, 130);
+  EXPECT_FALSE(report.cpu_crashed);
+  EXPECT_GT(report.avg_system_watts, 7.0);   // above the board floor
+  EXPECT_LT(report.avg_system_watts, 27.3);  // below max load
+}
+
+TEST(Kernel, EnergyOrderingMatchesThePaper) {
+  // Identical task sets under plain EDF vs ccEDF: the DVS policy must use
+  // less system energy (the per-task models are deterministic constants,
+  // so both kernels see the exact same workload).
+  auto run = [](const char* policy_id) {
+    Kernel kernel(KernelOptions{});
+    kernel.LoadPolicy(MakePolicy(policy_id));
+    kernel.RegisterTask(Task("a", 20.0, 5.0, 0.8));
+    kernel.RegisterTask(Task("b", 100.0, 20.0, 0.6));
+    kernel.RunUntil(5000.0);
+    KernelReport report = kernel.Report();
+    EXPECT_EQ(report.deadline_misses, 0) << policy_id;
+    return report.avg_system_watts;
+  };
+  double edf_watts = run("edf");
+  double cc_watts = run("cc_edf");
+  double la_watts = run("la_edf");
+  EXPECT_LT(cc_watts, edf_watts);
+  EXPECT_LT(la_watts, edf_watts);
+}
+
+TEST(Kernel, AdmissionControlRejectsOverload) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("cc_edf"));
+  EXPECT_GE(kernel.RegisterTask(Task("big", 10.0, 7.0)), 0);
+  // A second 70%-utilization task cannot be admitted under EDF.
+  EXPECT_EQ(kernel.RegisterTask(Task("big2", 10.0, 7.0)), -1);
+  EXPECT_EQ(kernel.num_tasks(), 1);
+  EXPECT_EQ(kernel.Report().rejected_admissions, 1);
+}
+
+TEST(Kernel, AdmissionControlCanBeDisabled) {
+  KernelOptions options;
+  options.admission_control = false;
+  Kernel kernel(options);
+  kernel.LoadPolicy(MakePolicy("edf"));
+  EXPECT_GE(kernel.RegisterTask(Task("big", 10.0, 7.0)), 0);
+  EXPECT_GE(kernel.RegisterTask(Task("big2", 10.0, 7.0)), 0);
+  kernel.RunUntil(200.0);
+  EXPECT_GT(kernel.Report().deadline_misses, 0);  // overload, as requested
+}
+
+TEST(Kernel, DeferredFirstReleaseWaitsForInflightDeadlines) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("la_edf"));
+  kernel.RegisterTask(Task("long", 100.0, 30.0, 1.0));
+  kernel.RunUntil(10.0);  // mid-invocation of "long" (deadline at 100)
+  int late = kernel.RegisterTask(Task("late", 25.0, 5.0));
+  ASSERT_GE(late, 0);
+  auto first_release = kernel.FirstReleaseMs(late);
+  ASSERT_TRUE(first_release.has_value());
+  EXPECT_NEAR(*first_release, 100.0, 1e-9);
+  kernel.RunUntil(500.0);
+  EXPECT_EQ(kernel.Report().deadline_misses, 0);
+  // After its first release the deferral query no longer applies.
+  EXPECT_FALSE(kernel.FirstReleaseMs(late).has_value());
+}
+
+TEST(Kernel, ImmediateReleaseWhenNothingInFlight) {
+  KernelOptions options;
+  options.defer_first_release = true;
+  Kernel kernel(options);
+  kernel.LoadPolicy(MakePolicy("cc_edf"));
+  int handle = kernel.RegisterTask(Task("only", 10.0, 2.0));
+  EXPECT_NEAR(*kernel.FirstReleaseMs(handle), 0.0, 1e-9);
+}
+
+TEST(Kernel, PolicyHotSwapKeepsTasksRunning) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("cc_edf"));
+  kernel.RegisterTask(Task("a", 10.0, 3.0, 0.5));
+  kernel.RunUntil(1000.0);
+  ASSERT_TRUE(kernel.procfs().Write("/proc/rtdvs/policy", "cc_rm"));
+  EXPECT_EQ(*kernel.procfs().Read("/proc/rtdvs/policy"), "ccRM\n");
+  kernel.RunUntil(2000.0);
+  KernelReport report = kernel.Report();
+  EXPECT_EQ(report.deadline_misses, 0);
+  EXPECT_EQ(report.releases, 200);
+}
+
+TEST(Kernel, ProcfsRejectsUnknownPolicy) {
+  Kernel kernel(KernelOptions{});
+  EXPECT_FALSE(kernel.procfs().Write("/proc/rtdvs/policy", "not_a_policy"));
+  EXPECT_EQ(*kernel.procfs().Read("/proc/rtdvs/policy"), "(none)\n");
+}
+
+TEST(Kernel, ProcfsTaskRegistration) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("cc_edf"));
+  EXPECT_TRUE(kernel.procfs().Write("/proc/rtdvs/tasks", "register video 40 8 0.75"));
+  EXPECT_TRUE(kernel.procfs().Write("/proc/rtdvs/tasks", "register audio 10 1"));
+  EXPECT_EQ(kernel.num_tasks(), 2);
+  std::string listing = *kernel.procfs().Read("/proc/rtdvs/tasks");
+  EXPECT_NE(listing.find("video"), std::string::npos);
+  EXPECT_NE(listing.find("audio"), std::string::npos);
+  EXPECT_TRUE(kernel.procfs().Write("/proc/rtdvs/tasks", "unregister 0"));
+  EXPECT_EQ(kernel.num_tasks(), 1);
+  // Malformed commands are rejected.
+  EXPECT_FALSE(kernel.procfs().Write("/proc/rtdvs/tasks", "register broken"));
+  EXPECT_FALSE(kernel.procfs().Write("/proc/rtdvs/tasks", "register x 10 20"));
+  EXPECT_FALSE(kernel.procfs().Write("/proc/rtdvs/tasks", "unregister 99"));
+  EXPECT_FALSE(kernel.procfs().Write("/proc/rtdvs/tasks", ""));
+}
+
+TEST(Kernel, UnregisterRemapsRemainingTasks) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("cc_edf"));
+  int a = kernel.RegisterTask(Task("a", 10.0, 1.0));
+  int b = kernel.RegisterTask(Task("b", 20.0, 2.0));
+  kernel.RunUntil(100.0);
+  EXPECT_TRUE(kernel.UnregisterTask(a));
+  EXPECT_FALSE(kernel.UnregisterTask(a));  // already gone
+  kernel.RunUntil(300.0);
+  EXPECT_EQ(kernel.Report().deadline_misses, 0);
+  EXPECT_EQ(kernel.num_tasks(), 1);
+  EXPECT_TRUE(kernel.UnregisterTask(b));
+  kernel.RunUntil(400.0);  // empty system idles without crashing
+  EXPECT_FALSE(kernel.Report().cpu_crashed);
+}
+
+TEST(Kernel, TransitionHaltsAreAccounted) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("cc_edf"));
+  kernel.RegisterTask(Task("a", 10.0, 5.0, 0.3));  // big gap between wc and actual
+  kernel.RunUntil(1000.0);
+  KernelReport report = kernel.Report();
+  EXPECT_GT(report.voltage_transitions + report.frequency_transitions, 0);
+  EXPECT_GT(report.transition_halt_ms, 0.0);
+  EXPECT_EQ(report.deadline_misses, 0);
+}
+
+TEST(Kernel, StatsFileReflectsCounters) {
+  Kernel kernel(KernelOptions{});
+  kernel.LoadPolicy(MakePolicy("edf"));
+  kernel.RegisterTask(Task("a", 10.0, 2.0));
+  kernel.RunUntil(105.0);
+  std::string stats = *kernel.procfs().Read("/proc/rtdvs/stats");
+  EXPECT_NE(stats.find("releases 11"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("misses 0"), std::string::npos);
+}
+
+TEST(Kernel, NoPolicyFallsBackToFullSpeedEdf) {
+  Kernel kernel(KernelOptions{});  // no LoadPolicy call
+  kernel.RegisterTask(Task("a", 10.0, 2.0));
+  kernel.RunUntil(500.0);
+  EXPECT_EQ(kernel.Report().deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(kernel.cpu().frequency_mhz(), 550.0);
+}
+
+TEST(KernelDeathTest, RunUntilMustNotGoBackwards) {
+  Kernel kernel(KernelOptions{});
+  kernel.RunUntil(100.0);
+  EXPECT_DEATH(kernel.RunUntil(50.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

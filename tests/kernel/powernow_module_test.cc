@@ -1,0 +1,90 @@
+#include "src/kernel/powernow_module.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+TEST(PowerNowModule, MapsFrequencyToLowestStableVoltage) {
+  K6Cpu cpu;
+  PowerNowModule module(&cpu, nullptr);
+  ASSERT_TRUE(module.SetFrequencyMhz(0.0, 450.0));
+  EXPECT_DOUBLE_EQ(cpu.frequency_mhz(), 450.0);
+  EXPECT_DOUBLE_EQ(cpu.voltage(), 1.4);
+  ASSERT_TRUE(module.SetFrequencyMhz(1.0, 500.0));
+  EXPECT_DOUBLE_EQ(cpu.voltage(), 2.0);
+  EXPECT_FALSE(cpu.crashed());
+}
+
+TEST(PowerNowModule, RejectsNonPllFrequencies) {
+  K6Cpu cpu;
+  PowerNowModule module(&cpu, nullptr);
+  EXPECT_FALSE(module.SetFrequencyMhz(0.0, 250.0));  // the PLL skips 250
+  EXPECT_FALSE(module.SetFrequencyMhz(0.0, 123.0));
+  EXPECT_DOUBLE_EQ(cpu.frequency_mhz(), 550.0);  // unchanged
+}
+
+TEST(PowerNowModule, SgtcDependsOnVoltageChange) {
+  K6Cpu cpu;
+  PowerNowModule module(&cpu, nullptr);
+  // 550@2.0 -> 400@1.4: voltage transition, long halt.
+  module.SetFrequencyMhz(0.0, 400.0);
+  EXPECT_NEAR(cpu.transition_end_ms(), 10 * K6Cpu::kSgtcUnitMs, 1e-12);
+  EXPECT_EQ(module.voltage_transitions(), 1);
+  // 400 -> 300 at 1.4 V: frequency-only, short halt.
+  module.SetFrequencyMhz(5.0, 300.0);
+  EXPECT_NEAR(cpu.transition_end_ms(), 5.0 + K6Cpu::kSgtcUnitMs, 1e-12);
+  EXPECT_EQ(module.frequency_only_transitions(), 1);
+}
+
+TEST(PowerNowModule, RepeatedRequestIsNoTransition) {
+  K6Cpu cpu;
+  PowerNowModule module(&cpu, nullptr);
+  module.SetFrequencyMhz(0.0, 400.0);
+  int64_t transitions = cpu.transition_count();
+  ASSERT_TRUE(module.SetFrequencyMhz(1.0, 400.0));
+  EXPECT_EQ(cpu.transition_count(), transitions);
+}
+
+TEST(PowerNowModule, NormalizedPointsFromExportedSpecAllWork) {
+  K6Cpu cpu;
+  PowerNowModule module(&cpu, nullptr);
+  MachineSpec spec = PowerNowModule::ExportedMachineSpec();
+  double t = 0;
+  for (const auto& point : spec.points()) {
+    ASSERT_TRUE(module.SetNormalizedPoint(t, point)) << point.ToString();
+    EXPECT_NEAR(cpu.frequency_mhz() / K6Cpu::kMaxRatedMhz, point.frequency, 1e-9);
+    EXPECT_DOUBLE_EQ(cpu.voltage(), point.voltage);
+    t += 1.0;
+  }
+  EXPECT_FALSE(cpu.crashed());
+}
+
+TEST(PowerNowModule, ProcfsCtlInterface) {
+  K6Cpu cpu;
+  ProcFs fs;
+  PowerNowModule module(&cpu, &fs);
+  double now = 3.0;
+  module.set_procfs_clock(&now);
+  ASSERT_TRUE(fs.Exists("/proc/powernow/ctl"));
+  EXPECT_TRUE(fs.Write("/proc/powernow/ctl", "300"));
+  EXPECT_DOUBLE_EQ(cpu.frequency_mhz(), 300.0);
+  EXPECT_FALSE(fs.Write("/proc/powernow/ctl", "250"));
+  EXPECT_FALSE(fs.Write("/proc/powernow/ctl", "garbage"));
+  std::string ctl = *fs.Read("/proc/powernow/ctl");
+  EXPECT_NE(ctl.find("300 MHz"), std::string::npos);
+  EXPECT_NE(ctl.find("1.40 V"), std::string::npos);
+}
+
+TEST(PowerNowModule, UnregistersCtlOnDestruction) {
+  K6Cpu cpu;
+  ProcFs fs;
+  {
+    PowerNowModule module(&cpu, &fs);
+    EXPECT_TRUE(fs.Exists("/proc/powernow/ctl"));
+  }
+  EXPECT_FALSE(fs.Exists("/proc/powernow/ctl"));
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,65 @@
+#include "src/kernel/procfs.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+TEST(ProcFs, ReadWriteRoundTrip) {
+  ProcFs fs;
+  std::string stored = "initial";
+  fs.RegisterFile(
+      "/proc/x", [&stored] { return stored; },
+      [&stored](const std::string& data) {
+        stored = data;
+        return true;
+      });
+  EXPECT_EQ(fs.Read("/proc/x"), "initial");
+  EXPECT_TRUE(fs.Write("/proc/x", "updated"));
+  EXPECT_EQ(fs.Read("/proc/x"), "updated");
+}
+
+TEST(ProcFs, MissingFileFailsGracefully) {
+  ProcFs fs;
+  EXPECT_FALSE(fs.Read("/proc/nope").has_value());
+  EXPECT_FALSE(fs.Write("/proc/nope", "x"));
+  EXPECT_FALSE(fs.Exists("/proc/nope"));
+}
+
+TEST(ProcFs, ReadOnlyAndWriteOnlyFiles) {
+  ProcFs fs;
+  fs.RegisterFile("/proc/ro", [] { return std::string("data"); }, nullptr);
+  fs.RegisterFile("/proc/wo", nullptr, [](const std::string&) { return true; });
+  EXPECT_EQ(fs.Read("/proc/ro"), "data");
+  EXPECT_FALSE(fs.Write("/proc/ro", "x"));
+  EXPECT_TRUE(fs.Write("/proc/wo", "x"));
+  EXPECT_FALSE(fs.Read("/proc/wo").has_value());
+}
+
+TEST(ProcFs, WriteHandlerCanReject) {
+  ProcFs fs;
+  fs.RegisterFile("/proc/strict", nullptr,
+                  [](const std::string& data) { return data == "ok"; });
+  EXPECT_TRUE(fs.Write("/proc/strict", "ok"));
+  EXPECT_FALSE(fs.Write("/proc/strict", "bad"));
+}
+
+TEST(ProcFs, ListAndUnregister) {
+  ProcFs fs;
+  fs.RegisterFile("/proc/a", [] { return std::string(); }, nullptr);
+  fs.RegisterFile("/proc/b", [] { return std::string(); }, nullptr);
+  EXPECT_EQ(fs.ListFiles(), (std::vector<std::string>{"/proc/a", "/proc/b"}));
+  fs.UnregisterFile("/proc/a");
+  EXPECT_FALSE(fs.Exists("/proc/a"));
+  EXPECT_TRUE(fs.Exists("/proc/b"));
+}
+
+TEST(ProcFsDeathTest, DuplicateAndUnknownPathsAbort) {
+  ProcFs fs;
+  fs.RegisterFile("/proc/a", nullptr, nullptr);
+  EXPECT_DEATH(fs.RegisterFile("/proc/a", nullptr, nullptr), "already registered");
+  EXPECT_DEATH(fs.UnregisterFile("/proc/zzz"), "not registered");
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,83 @@
+#include "src/platform/k6_cpu.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+TEST(K6Cpu, DefaultsToMaximumOperatingPoint) {
+  K6Cpu cpu;
+  EXPECT_DOUBLE_EQ(cpu.frequency_mhz(), 550.0);
+  EXPECT_DOUBLE_EQ(cpu.voltage(), 2.0);
+  EXPECT_FALSE(cpu.crashed());
+}
+
+TEST(K6Cpu, PllTableMatchesSection41) {
+  // 200-600 MHz in 50 MHz steps, skipping 250, capped at 550.
+  EXPECT_EQ(K6Cpu::FrequencyTableMhz(),
+            (std::vector<double>{200, 300, 350, 400, 450, 500, 550}));
+  EXPECT_EQ(K6Cpu::VoltageTable(), (std::vector<double>{1.4, 2.0}));
+}
+
+TEST(K6Cpu, StabilityEnvelopeMatchesEmpiricalMapping) {
+  EXPECT_TRUE(K6Cpu::IsStable(450.0, 1.4));
+  EXPECT_FALSE(K6Cpu::IsStable(500.0, 1.4));
+  EXPECT_TRUE(K6Cpu::IsStable(550.0, 2.0));
+  EXPECT_FALSE(K6Cpu::IsStable(600.0, 2.0));
+  EXPECT_FALSE(K6Cpu::IsStable(200.0, 1.0));
+}
+
+TEST(K6Cpu, TransitionHaltsForSgtcUnits) {
+  K6Cpu cpu;
+  cpu.WriteEpmr(10.0, {0, 0, 10});
+  EXPECT_TRUE(cpu.InTransition(10.1));
+  EXPECT_NEAR(cpu.transition_end_ms(), 10.0 + 10 * K6Cpu::kSgtcUnitMs, 1e-12);
+  EXPECT_FALSE(cpu.InTransition(10.5));
+  EXPECT_DOUBLE_EQ(cpu.frequency_mhz(), 200.0);
+  EXPECT_DOUBLE_EQ(cpu.voltage(), 1.4);
+  EXPECT_EQ(cpu.transition_count(), 1);
+}
+
+TEST(K6Cpu, TscCountsAtTargetFrequencyThroughTheHalt) {
+  // The paper's measurement: ~8200 cycles across a 41 us transition to
+  // 200 MHz, ~22500 to 550 MHz.
+  K6Cpu cpu;
+  cpu.WriteEpmr(0.0, {0, 1, 1});  // park at 200 MHz
+  uint64_t before = cpu.Tsc(10.0);
+  cpu.WriteEpmr(10.0, {0, 1, 1});  // no-op transition content, still halts
+  uint64_t after = cpu.Tsc(cpu.transition_end_ms());
+  EXPECT_EQ(after - before, 8192u);  // 40.96 us * 200 MHz
+
+  K6Cpu cpu2;
+  uint64_t b2 = cpu2.Tsc(5.0);
+  cpu2.WriteEpmr(5.0, {6, 1, 1});  // to 550 MHz
+  uint64_t a2 = cpu2.Tsc(cpu2.transition_end_ms());
+  EXPECT_EQ(a2 - b2, 22528u);  // 40.96 us * 550 MHz
+}
+
+TEST(K6Cpu, TscAdvancesWithWallClock) {
+  K6Cpu cpu;  // 550 MHz
+  EXPECT_EQ(cpu.Tsc(1.0), 550'000u);
+  cpu.SyncTsc(1.0);
+  cpu.WriteEpmr(1.0, {0, 0, 1});  // 200 MHz
+  // 1 ms later: 550k + 200k.
+  EXPECT_EQ(cpu.Tsc(2.0), 750'000u);
+}
+
+TEST(K6Cpu, UnstableCombinationCrashes) {
+  K6Cpu cpu;
+  EXPECT_FALSE(cpu.crashed());
+  cpu.WriteEpmr(0.0, {6, 0, 1});  // 550 MHz at 1.4 V: out of envelope
+  EXPECT_TRUE(cpu.crashed());
+}
+
+TEST(K6CpuDeathTest, RejectsInvalidRegisterValues) {
+  K6Cpu cpu;
+  EXPECT_DEATH(cpu.WriteEpmr(0.0, {200, 0, 1}), "invalid FID");
+  EXPECT_DEATH(cpu.WriteEpmr(0.0, {0, 7, 1}), "unsupported VID");
+  EXPECT_DEATH(cpu.WriteEpmr(0.0, {0, 0, 0}), "SGTC");
+  EXPECT_DEATH(cpu.SyncTsc(-1.0), "time moved backwards");
+}
+
+}  // namespace
+}  // namespace rtdvs

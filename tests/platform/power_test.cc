@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "src/platform/power_meter.h"
+#include "src/platform/system_power.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(SystemPowerModel, ReproducesTable1) {
+  SystemPowerModel model;
+  model.screen_on = true;
+  model.disk_spinning = true;
+  EXPECT_NEAR(model.HaltedWatts(), 13.5, 1e-9);
+  model.disk_spinning = false;
+  EXPECT_NEAR(model.HaltedWatts(), 13.0, 1e-9);
+  model.screen_on = false;
+  EXPECT_NEAR(model.HaltedWatts(), 7.1, 1e-9);
+  EXPECT_NEAR(model.ActiveWatts(550.0, 2.0), 27.3, 1e-9);
+}
+
+TEST(SystemPowerModel, CpuSwingScalesWithFV2) {
+  SystemPowerModel model;
+  // Half frequency at the same voltage: half the swing.
+  EXPECT_NEAR(model.CpuActiveWatts(275.0, 2.0), 10.1, 1e-9);
+  // 1.4 V instead of 2.0 V: (1.4/2)^2 = 0.49 of the swing.
+  EXPECT_NEAR(model.CpuActiveWatts(550.0, 1.4), 20.2 * 0.49, 1e-9);
+}
+
+TEST(SystemPowerModel, Table1StringContainsAllRows) {
+  std::string table = SystemPowerModel().Table1();
+  EXPECT_NE(table.find("13.5 W"), std::string::npos);
+  EXPECT_NE(table.find("13.0 W"), std::string::npos);
+  EXPECT_NE(table.find("7.1 W"), std::string::npos);
+  EXPECT_NE(table.find("27.3 W"), std::string::npos);
+}
+
+TEST(PowerMeter, AveragesOverAccumulatedSegments) {
+  PowerMeter meter;
+  meter.Accumulate(0, 10, 10.0);   // 100 W*ms
+  meter.Accumulate(10, 30, 25.0);  // 500 W*ms
+  EXPECT_NEAR(meter.AverageWatts(), 600.0 / 30.0, 1e-12);
+  EXPECT_NEAR(meter.TotalJoules(), 0.6, 1e-12);
+  EXPECT_NEAR(meter.DurationMs(), 30.0, 1e-12);
+}
+
+TEST(PowerMeter, WindowedAverageClipsSegments) {
+  PowerMeter meter;
+  meter.Accumulate(0, 10, 10.0);
+  meter.Accumulate(10, 20, 30.0);
+  // Window [5, 15): half at 10 W, half at 30 W.
+  EXPECT_NEAR(meter.AverageWatts(5, 15), 20.0, 1e-12);
+}
+
+TEST(PowerMeter, EmptyMeterReadsZero) {
+  PowerMeter meter;
+  EXPECT_EQ(meter.AverageWatts(), 0.0);
+  EXPECT_EQ(meter.AverageWatts(0, 10), 0.0);
+}
+
+TEST(PowerMeter, ZeroLengthSegmentIgnored) {
+  PowerMeter meter;
+  meter.Accumulate(5, 5, 99.0);
+  EXPECT_EQ(meter.DurationMs(), 0.0);
+}
+
+TEST(PowerMeterDeathTest, RejectsDisorderAndNegativePower) {
+  PowerMeter meter;
+  meter.Accumulate(10, 20, 5.0);
+  EXPECT_DEATH(meter.Accumulate(0, 5, 5.0), "time order");
+  EXPECT_DEATH(meter.Accumulate(20, 30, -1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

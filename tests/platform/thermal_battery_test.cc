@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/platform/battery.h"
+#include "src/platform/thermal.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(ThermalModel, StartsAtAmbient) {
+  ThermalModel model{ThermalParams{}};
+  EXPECT_DOUBLE_EQ(model.temperature_c(), 25.0);
+  EXPECT_DOUBLE_EQ(model.peak_c(), 25.0);
+}
+
+TEST(ThermalModel, SteadyStateIsAmbientPlusPR) {
+  ThermalParams params;
+  params.ambient_c = 20.0;
+  params.resistance_c_per_w = 4.0;
+  ThermalModel model(params);
+  EXPECT_DOUBLE_EQ(model.SteadyStateC(10.0), 60.0);
+}
+
+TEST(ThermalModel, ConvergesToSteadyState) {
+  ThermalModel model{ThermalParams{}};
+  // tau = 3.5 * 1.2 = 4.2 s; after 120 s the exponential residue of the
+  // 35 degC step is ~1e-11 degC.
+  model.Advance(120'000.0, 10.0);
+  EXPECT_NEAR(model.temperature_c(), model.SteadyStateC(10.0), 1e-9);
+  EXPECT_NEAR(model.peak_c(), model.SteadyStateC(10.0), 1e-9);
+}
+
+TEST(ThermalModel, ExponentialStepResponseIsExact) {
+  ThermalParams params;
+  ThermalModel model(params);
+  const double tau_ms = params.resistance_c_per_w * params.capacitance_j_per_c * 1000.0;
+  model.Advance(tau_ms, 10.0);  // exactly one time constant
+  double expected = model.SteadyStateC(10.0) +
+                    (params.ambient_c - model.SteadyStateC(10.0)) * std::exp(-1.0);
+  EXPECT_NEAR(model.temperature_c(), expected, 1e-9);
+}
+
+TEST(ThermalModel, SegmentationInvariance) {
+  // Advancing in one 10 s chunk equals advancing in 1000 x 10 ms chunks.
+  ThermalModel coarse{ThermalParams{}};
+  ThermalModel fine{ThermalParams{}};
+  coarse.Advance(10'000.0, 7.5);
+  for (int i = 0; i < 1000; ++i) {
+    fine.Advance(10.0, 7.5);
+  }
+  EXPECT_NEAR(coarse.temperature_c(), fine.temperature_c(), 1e-9);
+  EXPECT_NEAR(coarse.MeanC(), fine.MeanC(), 1e-9);
+}
+
+TEST(ThermalModel, PeakTracksHotExcursions) {
+  ThermalModel model{ThermalParams{}};
+  model.Advance(30'000.0, 20.0);  // hot
+  double hot = model.temperature_c();
+  model.Advance(30'000.0, 1.0);  // cool-down
+  EXPECT_LT(model.temperature_c(), hot);
+  EXPECT_NEAR(model.peak_c(), hot, 1e-9);
+  // Mean sits between the extremes.
+  EXPECT_GT(model.MeanC(), model.temperature_c());
+  EXPECT_LT(model.MeanC(), hot);
+}
+
+TEST(BatteryModel, IdealBatteryIsCapacityOverPower) {
+  BatteryParams params;
+  params.capacity_wh = 40.0;
+  params.peukert_exponent = 1.0;
+  params.converter_efficiency = 1.0;
+  BatteryModel battery(params);
+  EXPECT_DOUBLE_EQ(battery.LifeHours(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(battery.LifeHours(20.0), 2.0);
+}
+
+TEST(BatteryModel, ConverterLossesShortenLife) {
+  BatteryParams params;
+  params.peukert_exponent = 1.0;
+  params.converter_efficiency = 0.8;
+  BatteryModel battery(params);
+  EXPECT_DOUBLE_EQ(battery.PackWatts(8.0), 10.0);
+  EXPECT_DOUBLE_EQ(battery.LifeHours(8.0), params.capacity_wh / 10.0);
+}
+
+TEST(BatteryModel, PeukertPenalizesHighDrain) {
+  BatteryParams params;
+  params.rated_power_w = 10.0;
+  params.peukert_exponent = 1.2;
+  params.converter_efficiency = 1.0;
+  BatteryModel battery(params);
+  // At the rated power the penalty factor is exactly 1.
+  EXPECT_DOUBLE_EQ(battery.LifeHours(10.0), params.capacity_wh / 10.0);
+  // Twice the rate: worse than half the rated-rate life.
+  EXPECT_LT(battery.LifeHours(20.0), battery.LifeHours(10.0) / 2.0);
+  // Half the rate: better than double (low rates recover capacity).
+  EXPECT_GT(battery.LifeHours(5.0), battery.LifeHours(10.0) * 2.0);
+}
+
+TEST(BatteryModel, SavingsCompoundSuperlinearly) {
+  // The product-level story: a 25% power cut buys MORE than 33% extra life
+  // on a Peukert battery.
+  BatteryModel battery{BatteryParams{}};
+  double at_full = battery.LifeHours(16.0);
+  double at_dvs = battery.LifeHours(12.0);
+  EXPECT_GT(at_dvs / at_full, 16.0 / 12.0);
+}
+
+TEST(BatteryModelDeathTest, ValidatesParams) {
+  BatteryParams bad;
+  bad.peukert_exponent = 0.9;
+  EXPECT_DEATH(BatteryModel{bad}, "CHECK failed");
+  BatteryParams bad2;
+  bad2.converter_efficiency = 0.0;
+  EXPECT_DEATH(BatteryModel{bad2}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

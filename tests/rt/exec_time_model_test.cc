@@ -1,0 +1,98 @@
+#include "src/rt/exec_time_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+TEST(ConstantFractionModel, AlwaysReturnsTheConstant) {
+  ConstantFractionModel model(0.7);
+  Pcg32 rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.DrawFraction(i % 3, i, rng), 0.7);
+  }
+  EXPECT_EQ(model.name(), "const(0.7)");
+}
+
+TEST(ConstantFractionModelDeathTest, RejectsOutOfRange) {
+  EXPECT_DEATH(ConstantFractionModel(0.0), "CHECK failed");
+  EXPECT_DEATH(ConstantFractionModel(1.1), "CHECK failed");
+}
+
+TEST(UniformFractionModel, StaysInHalfOpenRange) {
+  UniformFractionModel model(0.0, 1.0);
+  Pcg32 rng(2);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    double f = model.DrawFraction(0, i, rng);
+    ASSERT_GT(f, 0.0);  // (0, 1]: zero-work invocations are excluded
+    ASSERT_LE(f, 1.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);
+}
+
+TEST(UniformFractionModel, SubrangeRespected) {
+  UniformFractionModel model(0.4, 0.6);
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double f = model.DrawFraction(0, i, rng);
+    ASSERT_GT(f, 0.4);
+    ASSERT_LE(f, 0.6);
+  }
+}
+
+TEST(BimodalFractionModel, SpikesAtTheConfiguredRate) {
+  BimodalFractionModel model(0.3, 0.1);
+  Pcg32 rng(4);
+  int spikes = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    double f = model.DrawFraction(0, i, rng);
+    ASSERT_GT(f, 0.0);
+    ASSERT_LE(f, 1.0);
+    if (f > 0.85) {
+      ++spikes;
+    }
+  }
+  EXPECT_NEAR(spikes / 20'000.0, 0.1, 0.01);
+}
+
+TEST(ColdStartModel, InflatesOnlyFirstInvocation) {
+  auto model = ColdStartModel(std::make_unique<ConstantFractionModel>(0.4), 2.0);
+  Pcg32 rng(5);
+  EXPECT_DOUBLE_EQ(model.DrawFraction(0, 0, rng), 0.8);
+  EXPECT_DOUBLE_EQ(model.DrawFraction(0, 1, rng), 0.4);
+  EXPECT_DOUBLE_EQ(model.DrawFraction(0, 100, rng), 0.4);
+}
+
+TEST(ColdStartModel, CapsAtWorstCaseUnlessOverrunAllowed) {
+  auto capped = ColdStartModel(std::make_unique<ConstantFractionModel>(0.9), 2.0);
+  Pcg32 rng(6);
+  EXPECT_DOUBLE_EQ(capped.DrawFraction(0, 0, rng), 1.0);
+  // §4.3 observation 1: the real prototype's first invocation exceeded its
+  // bound; allow_overrun models that.
+  auto overrun = ColdStartModel(std::make_unique<ConstantFractionModel>(0.9), 2.0,
+                                /*allow_overrun=*/true);
+  EXPECT_DOUBLE_EQ(overrun.DrawFraction(0, 0, rng), 1.8);
+}
+
+TEST(TableFractionModel, ReplaysAndRepeatsLastColumn) {
+  TableFractionModel model(std::vector<std::vector<double>>{{0.5, 0.25}, {1.0}});
+  Pcg32 rng(7);
+  EXPECT_DOUBLE_EQ(model.DrawFraction(0, 0, rng), 0.5);
+  EXPECT_DOUBLE_EQ(model.DrawFraction(0, 1, rng), 0.25);
+  EXPECT_DOUBLE_EQ(model.DrawFraction(0, 5, rng), 0.25);
+  EXPECT_DOUBLE_EQ(model.DrawFraction(1, 3, rng), 1.0);
+}
+
+TEST(TableFractionModelDeathTest, RejectsBadTables) {
+  using Table = std::vector<std::vector<double>>;
+  EXPECT_DEATH(TableFractionModel(Table{{}}), "CHECK failed");
+  EXPECT_DEATH(TableFractionModel(Table{{1.5}}), "CHECK failed");
+  TableFractionModel model(Table{{1.0}});
+  Pcg32 rng(8);
+  EXPECT_DEATH(model.DrawFraction(5, 0, rng), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

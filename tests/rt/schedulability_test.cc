@@ -1,0 +1,136 @@
+#include "src/rt/schedulability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rt/taskset_generator.h"
+#include "src/util/random.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(EdfSchedulable, UtilizationBound) {
+  TaskSet set = TaskSet::PaperExample();  // U = 0.746
+  EXPECT_TRUE(EdfSchedulable(set, 1.0));
+  EXPECT_TRUE(EdfSchedulable(set, 0.75));
+  EXPECT_FALSE(EdfSchedulable(set, 0.74));
+  EXPECT_FALSE(EdfSchedulable(set, 0.5));
+}
+
+TEST(RmSufficient, PaperExampleNeedsFullSpeed) {
+  // Figure 2: static RM cannot scale the example below 1.0.
+  TaskSet set = TaskSet::PaperExample();
+  EXPECT_TRUE(RmSchedulableSufficient(set, 1.0));
+  EXPECT_FALSE(RmSchedulableSufficient(set, 0.83));
+  EXPECT_FALSE(RmSchedulableSufficient(set, 0.75));
+}
+
+TEST(RmSufficient, HarmonicPeriodsPassAtFullUtilization) {
+  // Harmonic task sets are RM-schedulable up to U = 1.
+  TaskSet set({{"a", 10, 5, 0}, {"b", 20, 5, 0}, {"c", 40, 10, 0}});
+  EXPECT_NEAR(set.TotalUtilization(), 1.0, 1e-12);
+  EXPECT_TRUE(RmSchedulableSufficient(set, 1.0));
+  EXPECT_FALSE(RmSchedulableSufficient(set, 0.99));
+}
+
+TEST(RmSufficient, ExactMultiplesDoNotDoubleCount) {
+  // ceil(20/10) must be exactly 2 despite floating-point division.
+  TaskSet set({{"a", 10, 2, 0}, {"b", 20, 2, 0}});
+  // Demand on b: 2*2 + 2 = 6 <= alpha*20  =>  alpha >= 0.3.
+  EXPECT_TRUE(RmSchedulableSufficient(set, 0.3));
+  EXPECT_FALSE(RmSchedulableSufficient(set, 0.29));
+}
+
+TEST(RmResponseTime, KnownFixpoint) {
+  TaskSet set = TaskSet::PaperExample();
+  // Lowest-priority task T3: R = 1 + ceil(R/8)*3 + ceil(R/10)*3 -> R = 7.
+  auto r3 = RmResponseTime(set, 2, 1.0);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_NEAR(*r3, 7.0, 1e-9);
+  // Highest priority: its own WCET.
+  EXPECT_NEAR(*RmResponseTime(set, 0, 1.0), 3.0, 1e-9);
+  // Scaling by 0.5 doubles everything for the top task.
+  EXPECT_NEAR(*RmResponseTime(set, 0, 0.5), 6.0, 1e-9);
+}
+
+TEST(RmExact, AdmitsMoreThanSufficient) {
+  // Classic case: the ceiling test is pessimistic, RTA is exact.
+  // T1 (C=3, P=8), T2 (C=3, P=10), T3 (C=1, P=14) at alpha = 0.875:
+  // sufficient test fails, but response times all fit.
+  TaskSet set = TaskSet::PaperExample();
+  EXPECT_FALSE(RmSchedulableSufficient(set, 0.875));
+  EXPECT_TRUE(RmSchedulableExact(set, 0.875));
+}
+
+TEST(RmExact, ImpliedBySufficient) {
+  // Anything the sufficient test admits, exact RTA must admit too.
+  Pcg32 rng(31);
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 5;
+  for (double u : {0.3, 0.5, 0.69}) {
+    options.target_utilization = u;
+    TaskSetGenerator generator(options);
+    for (int i = 0; i < 50; ++i) {
+      TaskSet set = generator.Generate(rng);
+      if (RmSchedulableSufficient(set, 1.0)) {
+        EXPECT_TRUE(RmSchedulableExact(set, 1.0)) << set.ToString();
+      }
+    }
+  }
+}
+
+TEST(RmExact, LiuLaylandBoundAlwaysSchedulable) {
+  // U <= n(2^{1/n} - 1) guarantees RM schedulability for any period mix.
+  Pcg32 rng(37);
+  const int n = 6;
+  const double bound = n * (std::pow(2.0, 1.0 / n) - 1.0);  // ~0.735
+  TaskSetGeneratorOptions options;
+  options.num_tasks = n;
+  options.target_utilization = bound - 0.01;
+  TaskSetGenerator generator(options);
+  for (int i = 0; i < 100; ++i) {
+    TaskSet set = generator.Generate(rng);
+    EXPECT_TRUE(RmSchedulableExact(set, 1.0)) << set.ToString();
+  }
+}
+
+TEST(StaticScalingPoint, MatchesFigure2Choices) {
+  TaskSet set = TaskSet::PaperExample();
+  MachineSpec m0 = MachineSpec::Machine0();
+  auto edf = StaticScalingPoint(set, m0, SchedulerKind::kEdf);
+  ASSERT_TRUE(edf.has_value());
+  EXPECT_DOUBLE_EQ(edf->frequency, 0.75);
+  auto rm = StaticScalingPoint(set, m0, SchedulerKind::kRm);
+  ASSERT_TRUE(rm.has_value());
+  EXPECT_DOUBLE_EQ(rm->frequency, 1.0);
+  // With exact RTA, 0.875 would do, but machine 0 has no point between
+  // 0.75 and 1.0 — machine 2 does.
+  auto rm_exact_m2 =
+      StaticScalingPoint(set, MachineSpec::Machine2(), SchedulerKind::kRm, true);
+  ASSERT_TRUE(rm_exact_m2.has_value());
+  EXPECT_DOUBLE_EQ(rm_exact_m2->frequency, 0.91);
+}
+
+TEST(StaticScalingPoint, UnschedulableReturnsNullopt) {
+  TaskSet set({{"hog", 10, 9, 0}, {"hog2", 10, 9, 0}});  // U = 1.8
+  EXPECT_FALSE(
+      StaticScalingPoint(set, MachineSpec::Machine0(), SchedulerKind::kEdf).has_value());
+}
+
+TEST(MinimalScalingFactor, EdfIsUtilizationRmIsBinarySearched) {
+  TaskSet set = TaskSet::PaperExample();
+  EXPECT_NEAR(MinimalScalingFactor(set, SchedulerKind::kEdf), set.TotalUtilization(),
+              1e-12);
+  double rm_alpha = MinimalScalingFactor(set, SchedulerKind::kRm);
+  EXPECT_TRUE(RmSchedulableSufficient(set, rm_alpha));
+  EXPECT_FALSE(RmSchedulableSufficient(set, rm_alpha - 1e-6));
+  // Exact RTA admits the example at 0.875 (T3: 1/a + 3/a + 3/a = 7/a and
+  // at a=0.875 the fixpoint iteration stays within all periods).
+  double exact_alpha = MinimalScalingFactor(set, SchedulerKind::kRm, true);
+  EXPECT_LE(exact_alpha, rm_alpha);
+  EXPECT_LE(exact_alpha, 0.875 + 1e-6);
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,69 @@
+#include "src/rt/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+Job MakeJob(int task_id, double release, double deadline) {
+  Job job;
+  job.task_id = task_id;
+  job.release_ms = release;
+  job.deadline_ms = deadline;
+  job.wcet_work = 1.0;
+  job.actual_work = 1.0;
+  return job;
+}
+
+TEST(EdfScheduler, PicksEarliestDeadline) {
+  TaskSet tasks = TaskSet::PaperExample();
+  EdfScheduler edf;
+  std::vector<Job> jobs = {MakeJob(0, 0, 8), MakeJob(1, 0, 10), MakeJob(2, 0, 14)};
+  EXPECT_EQ(edf.PickJob(jobs, tasks), 0u);
+  jobs[0].deadline_ms = 20;
+  EXPECT_EQ(edf.PickJob(jobs, tasks), 1u);
+}
+
+TEST(EdfScheduler, BreaksDeadlineTiesByTaskId) {
+  TaskSet tasks = TaskSet::PaperExample();
+  EdfScheduler edf;
+  std::vector<Job> jobs = {MakeJob(2, 0, 10), MakeJob(1, 0, 10)};
+  EXPECT_EQ(edf.PickJob(jobs, tasks), 1u);
+}
+
+TEST(EdfScheduler, SkipsFinishedJobsAndReturnsNoneWhenAllDone) {
+  TaskSet tasks = TaskSet::PaperExample();
+  EdfScheduler edf;
+  std::vector<Job> jobs = {MakeJob(0, 0, 8), MakeJob(1, 0, 10)};
+  jobs[0].finished = true;
+  EXPECT_EQ(edf.PickJob(jobs, tasks), 1u);
+  jobs[1].finished = true;
+  EXPECT_EQ(edf.PickJob(jobs, tasks), Scheduler::kNone);
+  EXPECT_EQ(edf.PickJob({}, tasks), Scheduler::kNone);
+}
+
+TEST(RmScheduler, PicksShortestPeriodRegardlessOfDeadline) {
+  TaskSet tasks = TaskSet::PaperExample();  // periods 8, 10, 14
+  RmScheduler rm;
+  // T3's deadline is earlier here, but T1 has the shorter period.
+  std::vector<Job> jobs = {MakeJob(0, 8, 16), MakeJob(2, 0, 14)};
+  EXPECT_EQ(rm.PickJob(jobs, tasks), 0u);
+}
+
+TEST(RmScheduler, FifoWithinATask) {
+  TaskSet tasks = TaskSet::PaperExample();
+  RmScheduler rm;
+  // Two invocations of the same task (overrun scenario): earlier first.
+  std::vector<Job> jobs = {MakeJob(0, 8, 16), MakeJob(0, 0, 8)};
+  EXPECT_EQ(rm.PickJob(jobs, tasks), 1u);
+}
+
+TEST(MakeScheduler, FactoryProducesRightKinds) {
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kEdf)->kind(), SchedulerKind::kEdf);
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kRm)->kind(), SchedulerKind::kRm);
+  EXPECT_EQ(SchedulerKindName(SchedulerKind::kEdf), "EDF");
+  EXPECT_EQ(SchedulerKindName(SchedulerKind::kRm), "RM");
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,59 @@
+#include "src/rt/task.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+TEST(Task, UtilizationIsWcetOverPeriod) {
+  Task task{"t", 10.0, 2.5, 0.0};
+  EXPECT_DOUBLE_EQ(task.utilization(), 0.25);
+}
+
+TEST(TaskSet, AddAssignsSequentialIdsAndDefaultNames) {
+  TaskSet set;
+  EXPECT_TRUE(set.empty());
+  int a = set.AddTask({"", 10.0, 1.0, 0.0});
+  int b = set.AddTask({"named", 20.0, 2.0, 0.0});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(set.task(0).name, "T1");
+  EXPECT_EQ(set.task(1).name, "named");
+  EXPECT_EQ(set.size(), 2);
+}
+
+TEST(TaskSet, TotalUtilizationSums) {
+  TaskSet set = TaskSet::PaperExample();
+  EXPECT_NEAR(set.TotalUtilization(), 3.0 / 8 + 3.0 / 10 + 1.0 / 14, 1e-12);
+}
+
+TEST(TaskSet, IdsByPeriodSortsAscendingStably) {
+  TaskSet set;
+  set.AddTask({"slow", 100.0, 1.0, 0.0});
+  set.AddTask({"fast", 5.0, 1.0, 0.0});
+  set.AddTask({"mid", 50.0, 1.0, 0.0});
+  set.AddTask({"fast2", 5.0, 1.0, 0.0});  // tie with "fast": id order
+  EXPECT_EQ(set.IdsByPeriod(), (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(TaskSet, PaperExampleMatchesTable2) {
+  TaskSet set = TaskSet::PaperExample();
+  ASSERT_EQ(set.size(), 3);
+  EXPECT_DOUBLE_EQ(set.task(0).wcet_ms, 3.0);
+  EXPECT_DOUBLE_EQ(set.task(0).period_ms, 8.0);
+  EXPECT_DOUBLE_EQ(set.task(1).wcet_ms, 3.0);
+  EXPECT_DOUBLE_EQ(set.task(1).period_ms, 10.0);
+  EXPECT_DOUBLE_EQ(set.task(2).wcet_ms, 1.0);
+  EXPECT_DOUBLE_EQ(set.task(2).period_ms, 14.0);
+}
+
+TEST(TaskSetDeathTest, RejectsInvalidTasks) {
+  TaskSet set;
+  EXPECT_DEATH(set.AddTask({"bad", 0.0, 1.0, 0.0}), "CHECK failed");
+  EXPECT_DEATH(set.AddTask({"bad", 10.0, 0.0, 0.0}), "CHECK failed");
+  EXPECT_DEATH(set.AddTask({"bad", 10.0, 11.0, 0.0}), "must not exceed period");
+  EXPECT_DEATH(set.AddTask({"bad", 10.0, 1.0, -1.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

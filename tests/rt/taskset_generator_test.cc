@@ -1,0 +1,108 @@
+#include "src/rt/taskset_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtdvs {
+namespace {
+
+TEST(TaskSetGenerator, HitsTargetUtilization) {
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 8;
+  Pcg32 rng(100);
+  for (double target : {0.1, 0.5, 0.95}) {
+    options.target_utilization = target;
+    TaskSetGenerator generator(options);
+    for (int i = 0; i < 20; ++i) {
+      TaskSet set = generator.Generate(rng);
+      EXPECT_EQ(set.size(), 8);
+      // Periods snap to 1 us, so utilization is within grid rounding.
+      EXPECT_NEAR(set.TotalUtilization(), target, 1e-3);
+    }
+  }
+}
+
+TEST(TaskSetGenerator, PeriodsInThePapersRangesOnMicrosecondGrid) {
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 10;
+  options.target_utilization = 0.5;
+  TaskSetGenerator generator(options);
+  Pcg32 rng(101);
+  for (int i = 0; i < 20; ++i) {
+    TaskSet set = generator.Generate(rng);
+    for (const auto& task : set.tasks()) {
+      EXPECT_GE(task.period_ms, 1.0);
+      EXPECT_LE(task.period_ms, 1000.0);
+      double us = task.period_ms * 1000.0;
+      EXPECT_NEAR(us, std::round(us), 1e-6) << "period not on 1 us grid";
+      EXPECT_GT(task.wcet_ms, 0.0);
+      EXPECT_LE(task.wcet_ms, task.period_ms);
+    }
+  }
+}
+
+TEST(TaskSetGenerator, PeriodClassesRoughlyBalanced) {
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 1;
+  options.target_utilization = 0.1;
+  TaskSetGenerator generator(options);
+  Pcg32 rng(102);
+  int short_count = 0, medium_count = 0, long_count = 0;
+  for (int i = 0; i < 3000; ++i) {
+    double period = generator.Generate(rng).task(0).period_ms;
+    if (period < 10) {
+      ++short_count;
+    } else if (period < 100) {
+      ++medium_count;
+    } else {
+      ++long_count;
+    }
+  }
+  EXPECT_NEAR(short_count, 1000, 120);
+  EXPECT_NEAR(medium_count, 1000, 120);
+  EXPECT_NEAR(long_count, 1000, 120);
+}
+
+TEST(TaskSetGenerator, DeterministicPerSeed) {
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 5;
+  options.target_utilization = 0.6;
+  TaskSetGenerator generator(options);
+  Pcg32 rng_a(7);
+  Pcg32 rng_b(7);
+  TaskSet a = generator.Generate(rng_a);
+  TaskSet b = generator.Generate(rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.task(i).period_ms, b.task(i).period_ms);
+    EXPECT_DOUBLE_EQ(a.task(i).wcet_ms, b.task(i).wcet_ms);
+  }
+}
+
+TEST(GenerateUUniFast, HitsUtilizationWithValidTasks) {
+  Pcg32 rng(103);
+  for (double target : {0.2, 0.7, 1.0}) {
+    for (int i = 0; i < 20; ++i) {
+      TaskSet set = GenerateUUniFast(6, target, rng);
+      EXPECT_EQ(set.size(), 6);
+      EXPECT_NEAR(set.TotalUtilization(), target, 0.01);
+      for (const auto& task : set.tasks()) {
+        EXPECT_GT(task.wcet_ms, 0.0);
+        EXPECT_LE(task.wcet_ms, task.period_ms + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TaskSetGeneratorDeathTest, RejectsBadOptions) {
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 0;
+  EXPECT_DEATH(TaskSetGenerator{options}, "CHECK failed");
+  options.num_tasks = 3;
+  options.target_utilization = 1.5;
+  EXPECT_DEATH(TaskSetGenerator{options}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs

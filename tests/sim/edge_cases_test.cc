@@ -1,0 +1,134 @@
+// Degenerate and boundary configurations the engine must survive: machines
+// with one operating point, full-utilization sets, identical periods, tiny
+// horizons and tiny tasks, energy-coefficient scaling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(EdgeCases, SinglePointMachineDegeneratesToNoDvs) {
+  // Only full speed available: every policy must match plain EDF exactly.
+  MachineSpec machine("fixed", {{1.0, 5.0}});
+  TaskSet tasks = TaskSet::PaperExample();
+  SimOptions options;
+  options.horizon_ms = 560.0;
+  double edf_energy = -1;
+  for (const auto& id : AllPaperPolicyIds()) {
+    auto policy = MakePolicy(id);
+    ConstantFractionModel model(0.8);
+    SimResult result = RunSimulation(tasks, machine, *policy, model, options);
+    EXPECT_EQ(result.deadline_misses, 0) << id;
+    EXPECT_EQ(result.speed_switches, 0) << id;
+    if (edf_energy < 0) {
+      edf_energy = result.total_energy();
+    }
+    EXPECT_NEAR(result.total_energy(), edf_energy, 1e-9) << id;
+  }
+}
+
+TEST(EdgeCases, FullUtilizationHarmonicSetMeetsEveryDeadline) {
+  // U = 1.0 exactly, harmonic periods: EDF-based policies must be perfect
+  // and have zero idle time at c = 1.
+  TaskSet tasks({{"a", 10, 5, 0}, {"b", 20, 10, 0}});
+  for (const char* id : {"edf", "static_edf", "cc_edf", "la_edf"}) {
+    auto policy = MakePolicy(id);
+    ConstantFractionModel model(1.0);
+    SimOptions options;
+    options.horizon_ms = 400.0;
+    SimResult result =
+        RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+    EXPECT_EQ(result.deadline_misses, 0) << id;
+    EXPECT_NEAR(result.idle_ms, 0.0, 1e-6) << id;
+    // No frequency below 1.0 is feasible, so energy equals plain EDF's.
+    EXPECT_NEAR(result.total_energy(), 400.0 * 25.0, 1e-6) << id;
+  }
+}
+
+TEST(EdgeCases, IdenticalPeriodsBreakTiesDeterministically) {
+  TaskSet tasks({{"x", 10, 3, 0}, {"y", 10, 3, 0}, {"z", 10, 3, 0}});
+  for (const char* id : {"cc_edf", "cc_rm", "la_edf"}) {
+    auto policy = MakePolicy(id);
+    UniformFractionModel model(0.0, 1.0);
+    SimOptions options;
+    options.horizon_ms = 1000.0;
+    options.seed = 7;
+    SimResult result =
+        RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+    EXPECT_EQ(result.deadline_misses, 0) << id;
+    // Determinism: an identical rerun reproduces the energy bit-for-bit.
+    auto policy2 = MakePolicy(id);
+    UniformFractionModel model2(0.0, 1.0);
+    SimResult result2 =
+        RunSimulation(tasks, MachineSpec::Machine0(), *policy2, model2, options);
+    EXPECT_DOUBLE_EQ(result.total_energy(), result2.total_energy()) << id;
+  }
+}
+
+TEST(EdgeCases, HorizonShorterThanFirstPeriod) {
+  TaskSet tasks({{"slow", 1000.0, 100.0, 0.0}});
+  auto policy = MakePolicy("la_edf");
+  ConstantFractionModel model(1.0);
+  SimOptions options;
+  options.horizon_ms = 50.0;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+  EXPECT_EQ(result.releases, 1);
+  EXPECT_EQ(result.completions, 0);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_LE(result.total_work_executed, 50.0 + 1e-9);
+}
+
+TEST(EdgeCases, MicroscopicTasksDoNotUnderflow) {
+  TaskSet tasks({{"tiny", 1.0, 1e-6, 0.0}, {"tiny2", 1.0, 1e-6, 0.0}});
+  auto policy = MakePolicy("cc_edf");
+  ConstantFractionModel model(1.0);
+  SimOptions options;
+  options.horizon_ms = 100.0;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_EQ(result.releases, 200);
+  EXPECT_NEAR(result.total_work_executed, 200e-6, 1e-9);
+}
+
+TEST(EdgeCases, EnergyCoefficientScalesEverything) {
+  TaskSet tasks = TaskSet::PaperExample();
+  auto run = [&](double coefficient) {
+    auto policy = MakePolicy("la_edf");
+    ConstantFractionModel model(0.7);
+    SimOptions options;
+    options.horizon_ms = 280.0;
+    options.idle_level = 0.2;
+    options.energy_coefficient = coefficient;
+    return RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+  };
+  SimResult base = run(1.0);
+  SimResult scaled = run(2.5);
+  EXPECT_NEAR(scaled.exec_energy, 2.5 * base.exec_energy, 1e-6);
+  EXPECT_NEAR(scaled.idle_energy, 2.5 * base.idle_energy, 1e-6);
+  EXPECT_NEAR(scaled.lower_bound_energy, 2.5 * base.lower_bound_energy, 1e-6);
+}
+
+TEST(EdgeCases, LongHorizonManyEventsStaysConsistent) {
+  // ~200k releases: double-precision time accounting must still close.
+  TaskSet tasks({{"fast", 1.0, 0.3, 0.0}, {"med", 7.0, 2.0, 0.0}});
+  auto policy = MakePolicy("cc_edf");
+  UniformFractionModel model(0.0, 1.0);
+  SimOptions options;
+  options.horizon_ms = 120'000.0;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine2(), *policy, model, options);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_EQ(result.releases, 120'000 + 120'000 / 7 + 1);
+  EXPECT_NEAR(result.busy_ms + result.idle_ms + result.switching_ms,
+              options.horizon_ms, 1e-5);
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,202 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dvs/no_dvs_policy.h"
+#include "src/dvs/policy.h"
+
+namespace rtdvs {
+namespace {
+
+// A single task: C = 2, P = 10, always full worst case, at max speed.
+TaskSet OneTask() { return TaskSet({{"solo", 10.0, 2.0, 0.0}}); }
+
+SimOptions Opts(double horizon, double idle_level = 0.0) {
+  SimOptions options;
+  options.horizon_ms = horizon;
+  options.idle_level = idle_level;
+  options.record_trace = true;
+  return options;
+}
+
+TEST(Simulator, SingleTaskTimingAndEnergy) {
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(OneTask(), MachineSpec::Machine0(), policy, model, Opts(100.0));
+  // 10 invocations of 2 ms work at V = 5.
+  EXPECT_EQ(result.releases, 10);
+  EXPECT_EQ(result.completions, 10);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_NEAR(result.total_work_executed, 20.0, 1e-9);
+  EXPECT_NEAR(result.exec_energy, 20.0 * 25.0, 1e-9);
+  EXPECT_NEAR(result.idle_energy, 0.0, 1e-12);
+  EXPECT_NEAR(result.busy_ms, 20.0, 1e-9);
+  EXPECT_NEAR(result.idle_ms, 80.0, 1e-9);
+}
+
+TEST(Simulator, IdleLevelChargesIdleCycles) {
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimResult result = RunSimulation(OneTask(), MachineSpec::Machine0(), policy, model,
+                                   Opts(100.0, 0.5));
+  // Idle at f=1, V=5: 80 ms * 1 * 25 * 0.5.
+  EXPECT_NEAR(result.idle_energy, 80.0 * 25.0 * 0.5, 1e-9);
+}
+
+TEST(Simulator, ActualFractionScalesWork) {
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(0.25);
+  SimResult result =
+      RunSimulation(OneTask(), MachineSpec::Machine0(), policy, model, Opts(100.0));
+  EXPECT_NEAR(result.total_work_executed, 5.0, 1e-9);
+}
+
+TEST(Simulator, ResponseTimesRecorded) {
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(OneTask(), MachineSpec::Machine0(), policy, model, Opts(100.0));
+  ASSERT_EQ(result.task_stats.size(), 1u);
+  EXPECT_NEAR(result.task_stats[0].MeanResponseMs(), 2.0, 1e-9);
+  EXPECT_NEAR(result.task_stats[0].max_response_ms, 2.0, 1e-9);
+}
+
+TEST(Simulator, OverloadMissesAreDetected) {
+  // U = 1.5: EDF must miss.
+  TaskSet tasks({{"a", 10.0, 8.0, 0.0}, {"b", 10.0, 7.0, 0.0}});
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, Opts(200.0));
+  EXPECT_GT(result.deadline_misses, 0);
+}
+
+TEST(Simulator, AbortPolicyDropsTardyWork) {
+  TaskSet tasks({{"a", 10.0, 8.0, 0.0}, {"b", 10.0, 7.0, 0.0}});
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimOptions options = Opts(200.0);
+  options.miss_policy = MissPolicy::kAbortJob;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, options);
+  EXPECT_GT(result.deadline_misses, 0);
+  // With aborts, executed work per 10 ms window is capped at the window.
+  EXPECT_LE(result.total_work_executed, 200.0 + 1e-6);
+  // Completions < releases: aborted jobs never complete.
+  EXPECT_LT(result.completions, result.releases);
+}
+
+TEST(Simulator, PreemptionCountsForNestedDeadlines) {
+  // Task b (P=50) runs long; task a (P=10) preempts it repeatedly.
+  TaskSet tasks({{"a", 10.0, 2.0, 0.0}, {"b", 50.0, 20.0, 0.0}});
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, Opts(50.0));
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_GT(result.preemptions, 0);
+}
+
+TEST(Simulator, PhaseDefersFirstRelease) {
+  TaskSet tasks({{"late", 10.0, 2.0, 25.0}});
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, Opts(100.0));
+  // Releases at 25, 35, ..., 95: 8 of them.
+  EXPECT_EQ(result.releases, 8);
+  ASSERT_FALSE(result.trace.segments().empty());
+  EXPECT_EQ(result.trace.segments()[0].state, CpuState::kIdle);
+  EXPECT_NEAR(result.trace.segments()[0].end_ms, 25.0, 1e-9);
+}
+
+TEST(Simulator, HorizonCutsPartialWork) {
+  // One release at t=0 needing 2 ms; horizon 1 ms.
+  NoDvsPolicy policy(SchedulerKind::kEdf);
+  ConstantFractionModel model(1.0);
+  SimResult result =
+      RunSimulation(OneTask(), MachineSpec::Machine0(), policy, model, Opts(1.0));
+  EXPECT_EQ(result.releases, 1);
+  EXPECT_EQ(result.completions, 0);
+  EXPECT_NEAR(result.total_work_executed, 1.0, 1e-9);
+}
+
+TEST(Simulator, ResidencyAccountsAllTime) {
+  auto policy = MakePolicy("cc_edf");
+  UniformFractionModel model(0.0, 1.0);
+  SimResult result = RunSimulation(TaskSet::PaperExample(), MachineSpec::Machine0(),
+                                   *policy, model, Opts(500.0, 0.3));
+  double exec_ms = 0, idle_ms = 0, exec_energy = 0, idle_energy = 0;
+  for (const auto& res : result.residency) {
+    exec_ms += res.exec_ms;
+    idle_ms += res.idle_ms;
+    exec_energy += res.exec_energy;
+    idle_energy += res.idle_energy;
+  }
+  EXPECT_NEAR(exec_ms, result.busy_ms, 1e-6);
+  EXPECT_NEAR(idle_ms, result.idle_ms, 1e-6);
+  EXPECT_NEAR(exec_energy, result.exec_energy, 1e-6);
+  EXPECT_NEAR(idle_energy, result.idle_energy, 1e-6);
+  EXPECT_NEAR(result.busy_ms + result.idle_ms + result.switching_ms,
+              result.horizon_ms, 1e-6);
+}
+
+TEST(Simulator, SwitchTimeBlocksExecution) {
+  // With a huge switch penalty, a task set that needs frequent frequency
+  // changes loses real time: compare completions with/without.
+  TaskSet tasks = TaskSet::PaperExample();
+  SimOptions with_cost = Opts(160.0);
+  with_cost.switch_time_ms = 0.5;
+  auto policy_a = MakePolicy("cc_edf");
+  ConstantFractionModel model(1.0);
+  SimResult costly =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy_a, model, with_cost);
+  EXPECT_GT(costly.switching_ms, 0.0);
+  // Time is conserved across the three states.
+  EXPECT_NEAR(costly.busy_ms + costly.idle_ms + costly.switching_ms, 160.0, 1e-6);
+}
+
+TEST(Simulator, SpeedSwitchesBoundedByPaperClaim) {
+  // §2.5: at most 2 switches per task per invocation (plus idle drops).
+  auto policy = MakePolicy("la_edf");
+  UniformFractionModel model(0.0, 1.0);
+  SimResult result = RunSimulation(TaskSet::PaperExample(), MachineSpec::Machine0(),
+                                   *policy, model, Opts(2000.0));
+  EXPECT_LE(result.speed_switches,
+            2 * result.releases + 2 * result.completions + 2);
+}
+
+TEST(Simulator, TraceSegmentsAreContiguousAndOrdered) {
+  auto policy = MakePolicy("la_edf");
+  UniformFractionModel model(0.0, 1.0);
+  SimResult result = RunSimulation(TaskSet::PaperExample(), MachineSpec::Machine0(),
+                                   *policy, model, Opts(200.0));
+  const auto& segments = result.trace.segments();
+  ASSERT_FALSE(segments.empty());
+  EXPECT_NEAR(segments.front().start_ms, 0.0, 1e-9);
+  for (size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_NEAR(segments[i].start_ms, segments[i - 1].end_ms, 1e-6);
+  }
+  EXPECT_NEAR(segments.back().end_ms, 200.0, 1e-6);
+}
+
+TEST(SimulatorDeathTest, RejectsEmptyTaskSetAndDoubleRun) {
+  auto policy = MakePolicy("edf");
+  ConstantFractionModel model(1.0);
+  EXPECT_DEATH(
+      {
+        Simulator sim(TaskSet(), MachineSpec::Machine0(), policy.get(), &model,
+                      SimOptions{});
+      },
+      "empty task set");
+  Simulator sim(OneTask(), MachineSpec::Machine0(), policy.get(), &model,
+                SimOptions{});
+  (void)sim.Run();
+  EXPECT_DEATH((void)sim.Run(), "once");
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,76 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace rtdvs {
+namespace {
+
+OperatingPoint P(double f, double v) { return {f, v}; }
+
+TEST(Trace, MergesContiguousIdenticalSegments) {
+  Trace trace;
+  trace.AddSegment({0, 1, CpuState::kExecuting, 0, P(1, 5)});
+  trace.AddSegment({1, 2, CpuState::kExecuting, 0, P(1, 5)});
+  ASSERT_EQ(trace.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.segments()[0].end_ms, 2.0);
+}
+
+TEST(Trace, DoesNotMergeAcrossStateOrPointChanges) {
+  Trace trace;
+  trace.AddSegment({0, 1, CpuState::kExecuting, 0, P(1, 5)});
+  trace.AddSegment({1, 2, CpuState::kExecuting, 0, P(0.5, 3)});
+  trace.AddSegment({2, 3, CpuState::kIdle, -1, P(0.5, 3)});
+  trace.AddSegment({3, 4, CpuState::kExecuting, 1, P(0.5, 3)});
+  EXPECT_EQ(trace.segments().size(), 4u);
+}
+
+TEST(Trace, DropsZeroLengthSegments) {
+  Trace trace;
+  trace.AddSegment({1, 1, CpuState::kIdle, -1, P(1, 5)});
+  EXPECT_TRUE(trace.segments().empty());
+}
+
+TEST(Trace, CapacityLimitSetsTruncatedFlag) {
+  Trace trace;
+  trace.set_capacity_limit(2);
+  trace.AddSegment({0, 1, CpuState::kExecuting, 0, P(1, 5)});
+  trace.AddSegment({1, 2, CpuState::kIdle, -1, P(1, 5)});
+  trace.AddSegment({2, 3, CpuState::kExecuting, 0, P(1, 5)});
+  EXPECT_TRUE(trace.truncated());
+  EXPECT_EQ(trace.segments().size(), 2u);
+}
+
+TEST(Trace, GanttRendersRowsPerTask) {
+  TaskSet tasks = TaskSet::PaperExample();
+  Trace trace;
+  trace.AddSegment({0, 8, CpuState::kExecuting, 0, P(0.75, 4)});
+  trace.AddSegment({8, 16, CpuState::kIdle, -1, P(0.5, 3)});
+  std::string gantt = trace.RenderGantt(tasks, 32, 16.0);
+  // One row per task plus frequency, idle, and time rows.
+  EXPECT_NE(gantt.find("T1"), std::string::npos);
+  EXPECT_NE(gantt.find("T3"), std::string::npos);
+  EXPECT_NE(gantt.find("idle"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('_'), std::string::npos);
+  // Frequency digit 8 (= 0.75 rounded to tenths) appears in the top row.
+  EXPECT_NE(gantt.find('8'), std::string::npos);
+}
+
+TEST(Trace, RenderListShowsSegmentsAndEvents) {
+  TaskSet tasks = TaskSet::PaperExample();
+  Trace trace;
+  trace.AddSegment({0, 2, CpuState::kExecuting, 1, P(1, 5)});
+  trace.AddEvent({2.0, TraceEventKind::kCompletion, 1, {}});
+  trace.AddEvent({5.0, TraceEventKind::kDeadlineMiss, 0, {}});
+  std::string list = trace.RenderList(tasks);
+  EXPECT_NE(list.find("T2"), std::string::npos);
+  EXPECT_NE(list.find("complete"), std::string::npos);
+  EXPECT_NE(list.find("MISS"), std::string::npos);
+}
+
+TEST(Trace, EmptyGanttDoesNotCrash) {
+  EXPECT_EQ(Trace().RenderGantt(TaskSet::PaperExample()), "(empty trace)\n");
+}
+
+}  // namespace
+}  // namespace rtdvs

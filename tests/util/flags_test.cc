@@ -1,0 +1,102 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtdvs {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagSet, ParsesEqualsAndSpaceForms) {
+  double d = 1.0;
+  int64_t i = 2;
+  std::string s = "x";
+  FlagSet flags("test");
+  flags.AddDouble("dee", &d, "");
+  flags.AddInt64("eye", &i, "");
+  flags.AddString("ess", &s, "");
+  Argv args({"prog", "--dee=2.5", "--eye", "7", "--ess=hello"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_EQ(d, 2.5);
+  EXPECT_EQ(i, 7);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(FlagSet, BoolFormsIncludingNegation) {
+  bool a = false, b = true, c = false;
+  FlagSet flags("test");
+  flags.AddBool("aa", &a, "");
+  flags.AddBool("bb", &b, "");
+  flags.AddBool("cc", &c, "");
+  Argv args({"prog", "--aa", "--no-bb", "--cc=true"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()));
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(c);
+}
+
+TEST(FlagSet, RejectsUnknownFlag) {
+  FlagSet flags("test");
+  Argv args({"prog", "--nope"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagSet, RejectsBadValue) {
+  double d = 0;
+  FlagSet flags("test");
+  flags.AddDouble("dee", &d, "");
+  Argv args({"prog", "--dee=abc"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagSet, RejectsPositionalArguments) {
+  FlagSet flags("test");
+  Argv args({"prog", "stray"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagSet, RejectsMissingValue) {
+  int64_t i = 0;
+  FlagSet flags("test");
+  flags.AddInt64("eye", &i, "");
+  Argv args({"prog", "--eye"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagSet, HelpReturnsFalse) {
+  FlagSet flags("test");
+  Argv args({"prog", "--help"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagSet, EmptyCommandLineSucceeds) {
+  FlagSet flags("test");
+  Argv args({"prog"});
+  EXPECT_TRUE(flags.Parse(args.argc(), args.argv()));
+}
+
+TEST(FlagSetDeathTest, DuplicateFlagAborts) {
+  double d = 0;
+  FlagSet flags("test");
+  flags.AddDouble("dee", &d, "");
+  EXPECT_DEATH(flags.AddDouble("dee", &d, ""), "duplicate flag");
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,111 @@
+#include "src/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtdvs {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42);
+  Pcg32 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    differences += a.NextU32() != b.NextU32();
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20'000, 0.5, 0.02);  // uniform mean
+}
+
+TEST(Pcg32, UniformDoubleRespectsBounds) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformDouble(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+  EXPECT_EQ(rng.UniformDouble(2.0, 2.0), 2.0);
+}
+
+TEST(Pcg32, NextBoundedCoversRangeWithoutBias) {
+  Pcg32 rng(11);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30'000; ++i) {
+    uint32_t x = rng.NextBounded(3);
+    ASSERT_LT(x, 3u);
+    ++counts[x];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, 10'000, 400);
+  }
+}
+
+TEST(Pcg32, UniformIntInclusiveBounds) {
+  Pcg32 rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.UniformInt(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(Pcg32, WeightedIndexFollowsWeights) {
+  Pcg32 rng(17);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40'000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Pcg32, ForkProducesIndependentStream) {
+  Pcg32 parent(21);
+  Pcg32 child = parent.Fork();
+  // The child should not replay the parent's stream.
+  Pcg32 parent_copy(21);
+  (void)parent_copy.Fork();
+  int matches = 0;
+  for (int i = 0; i < 32; ++i) {
+    matches += child.NextU32() == parent.NextU32();
+  }
+  EXPECT_LT(matches, 4);
+}
+
+TEST(Pcg32, ForkIsDeterministic) {
+  Pcg32 a(99);
+  Pcg32 b(99);
+  Pcg32 ca = a.Fork();
+  Pcg32 cb = b.Fork();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(ca.NextU32(), cb.NextU32());
+  }
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,68 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtdvs {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.stderr_mean(), stats.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats stats;
+  stats.Add(-3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), -3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), -3.5);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffsets) {
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.Add(1e9 + (i % 2));  // values 1e9 and 1e9+1
+  }
+  EXPECT_NEAR(stats.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(stats.variance(), 0.25 * 1000 / 999, 1e-3);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> samples = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 25), 17.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+}
+
+TEST(Percentile, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50), 2.0);
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,54 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rtdvs {
+namespace {
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.6400, 4), "0.64");
+  EXPECT_EQ(FormatDouble(-0.25, 2), "-0.25");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22.5"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  // Numeric cells right-align under the header.
+  EXPECT_NE(text.find(" 22.5"), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable table({"a", "b"});
+  table.AddRow({"x", "1"});
+  std::ostringstream out;
+  table.PrintCsv(out, "csv,tag");
+  EXPECT_EQ(out.str(), "csv,tag,a,b\ncsv,tag,x,1\n");
+}
+
+TEST(TextTable, AddNumericRowFormatsDoubles) {
+  TextTable table({"u", "e"});
+  table.AddNumericRow({0.5, 1.23456}, 3);
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "csv,u,e\ncsv,0.5,1.235\n");
+}
+
+TEST(TextTableDeathTest, WrongArityAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rtdvs
