@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_battery_thermal.dir/bench_ablation_battery_thermal.cc.o"
+  "CMakeFiles/bench_ablation_battery_thermal.dir/bench_ablation_battery_thermal.cc.o.d"
+  "bench_ablation_battery_thermal"
+  "bench_ablation_battery_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_battery_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

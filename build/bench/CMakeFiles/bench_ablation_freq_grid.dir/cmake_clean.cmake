@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_freq_grid.dir/bench_ablation_freq_grid.cc.o"
+  "CMakeFiles/bench_ablation_freq_grid.dir/bench_ablation_freq_grid.cc.o.d"
+  "bench_ablation_freq_grid"
+  "bench_ablation_freq_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_freq_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interval_dvs.dir/bench_ablation_interval_dvs.cc.o"
+  "CMakeFiles/bench_ablation_interval_dvs.dir/bench_ablation_interval_dvs.cc.o.d"
+  "bench_ablation_interval_dvs"
+  "bench_ablation_interval_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interval_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rm_exact.dir/bench_ablation_rm_exact.cc.o"
+  "CMakeFiles/bench_ablation_rm_exact.dir/bench_ablation_rm_exact.cc.o.d"
+  "bench_ablation_rm_exact"
+  "bench_ablation_rm_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rm_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stat_edf.dir/bench_ablation_stat_edf.cc.o"
+  "CMakeFiles/bench_ablation_stat_edf.dir/bench_ablation_stat_edf.cc.o.d"
+  "bench_ablation_stat_edf"
+  "bench_ablation_stat_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stat_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

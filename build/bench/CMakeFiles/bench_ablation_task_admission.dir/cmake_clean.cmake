@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_task_admission.dir/bench_ablation_task_admission.cc.o"
+  "CMakeFiles/bench_ablation_task_admission.dir/bench_ablation_task_admission.cc.o.d"
+  "bench_ablation_task_admission"
+  "bench_ablation_task_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_task_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

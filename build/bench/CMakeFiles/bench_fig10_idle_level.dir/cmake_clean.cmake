@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_idle_level.dir/bench_fig10_idle_level.cc.o"
+  "CMakeFiles/bench_fig10_idle_level.dir/bench_fig10_idle_level.cc.o.d"
+  "bench_fig10_idle_level"
+  "bench_fig10_idle_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_idle_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

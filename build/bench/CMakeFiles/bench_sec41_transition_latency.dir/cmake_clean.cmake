@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_transition_latency.dir/bench_sec41_transition_latency.cc.o"
+  "CMakeFiles/bench_sec41_transition_latency.dir/bench_sec41_transition_latency.cc.o.d"
+  "bench_sec41_transition_latency"
+  "bench_sec41_transition_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_transition_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

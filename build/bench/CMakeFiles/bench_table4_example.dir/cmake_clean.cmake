@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_example.dir/bench_table4_example.cc.o"
+  "CMakeFiles/bench_table4_example.dir/bench_table4_example.cc.o.d"
+  "bench_table4_example"
+  "bench_table4_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camcorder.dir/camcorder.cpp.o"
+  "CMakeFiles/camcorder.dir/camcorder.cpp.o.d"
+  "camcorder"
+  "camcorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camcorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

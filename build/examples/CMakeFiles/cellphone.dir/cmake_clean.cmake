@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellphone.dir/cellphone.cpp.o"
+  "CMakeFiles/cellphone.dir/cellphone.cpp.o.d"
+  "cellphone"
+  "cellphone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellphone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pda.dir/pda.cpp.o"
+  "CMakeFiles/pda.dir/pda.cpp.o.d"
+  "pda"
+  "pda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

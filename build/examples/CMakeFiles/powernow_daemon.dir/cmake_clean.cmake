@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powernow_daemon.dir/powernow_daemon.cpp.o"
+  "CMakeFiles/powernow_daemon.dir/powernow_daemon.cpp.o.d"
+  "powernow_daemon"
+  "powernow_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powernow_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

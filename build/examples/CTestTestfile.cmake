@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_camcorder "/root/repo/build/examples/camcorder")
+set_tests_properties(example_camcorder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cellphone "/root/repo/build/examples/cellphone")
+set_tests_properties(example_cellphone PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_powernow_daemon "/root/repo/build/examples/powernow_daemon")
+set_tests_properties(example_powernow_daemon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pda "/root/repo/build/examples/pda")
+set_tests_properties(example_pda PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool_rtdvs_sim "/root/repo/build/tools/rtdvs-sim" "--scenario" "/root/repo/examples/scenarios/camcorder.scn" "--all-policies" "--sim-ms" "2000")
+set_tests_properties(tool_rtdvs_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool_rtdvs_sim_table2 "/root/repo/build/tools/rtdvs-sim" "--scenario" "/root/repo/examples/scenarios/paper_table2.scn" "--policy" "la_edf" "--sim-ms" "160" "--gantt" "16")
+set_tests_properties(tool_rtdvs_sim_table2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_core.dir/scenario.cc.o"
+  "CMakeFiles/rtdvs_core.dir/scenario.cc.o.d"
+  "CMakeFiles/rtdvs_core.dir/sweep.cc.o"
+  "CMakeFiles/rtdvs_core.dir/sweep.cc.o.d"
+  "librtdvs_core.a"
+  "librtdvs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

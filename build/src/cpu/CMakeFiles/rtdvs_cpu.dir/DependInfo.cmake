@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/energy_model.cc" "src/cpu/CMakeFiles/rtdvs_cpu.dir/energy_model.cc.o" "gcc" "src/cpu/CMakeFiles/rtdvs_cpu.dir/energy_model.cc.o.d"
+  "/root/repo/src/cpu/lower_bound.cc" "src/cpu/CMakeFiles/rtdvs_cpu.dir/lower_bound.cc.o" "gcc" "src/cpu/CMakeFiles/rtdvs_cpu.dir/lower_bound.cc.o.d"
+  "/root/repo/src/cpu/machine_spec.cc" "src/cpu/CMakeFiles/rtdvs_cpu.dir/machine_spec.cc.o" "gcc" "src/cpu/CMakeFiles/rtdvs_cpu.dir/machine_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtdvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_cpu.dir/energy_model.cc.o"
+  "CMakeFiles/rtdvs_cpu.dir/energy_model.cc.o.d"
+  "CMakeFiles/rtdvs_cpu.dir/lower_bound.cc.o"
+  "CMakeFiles/rtdvs_cpu.dir/lower_bound.cc.o.d"
+  "CMakeFiles/rtdvs_cpu.dir/machine_spec.cc.o"
+  "CMakeFiles/rtdvs_cpu.dir/machine_spec.cc.o.d"
+  "librtdvs_cpu.a"
+  "librtdvs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

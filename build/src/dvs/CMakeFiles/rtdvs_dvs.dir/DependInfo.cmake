@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvs/cc_edf_policy.cc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/cc_edf_policy.cc.o" "gcc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/cc_edf_policy.cc.o.d"
+  "/root/repo/src/dvs/cc_rm_policy.cc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/cc_rm_policy.cc.o" "gcc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/cc_rm_policy.cc.o.d"
+  "/root/repo/src/dvs/interval_policy.cc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/interval_policy.cc.o" "gcc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/interval_policy.cc.o.d"
+  "/root/repo/src/dvs/la_edf_policy.cc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/la_edf_policy.cc.o" "gcc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/la_edf_policy.cc.o.d"
+  "/root/repo/src/dvs/policy.cc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/policy.cc.o" "gcc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/policy.cc.o.d"
+  "/root/repo/src/dvs/stat_edf_policy.cc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/stat_edf_policy.cc.o" "gcc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/stat_edf_policy.cc.o.d"
+  "/root/repo/src/dvs/static_scaling_policy.cc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/static_scaling_policy.cc.o" "gcc" "src/dvs/CMakeFiles/rtdvs_dvs.dir/static_scaling_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/rtdvs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rtdvs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtdvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

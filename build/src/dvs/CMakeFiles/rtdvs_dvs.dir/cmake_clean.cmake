@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_dvs.dir/cc_edf_policy.cc.o"
+  "CMakeFiles/rtdvs_dvs.dir/cc_edf_policy.cc.o.d"
+  "CMakeFiles/rtdvs_dvs.dir/cc_rm_policy.cc.o"
+  "CMakeFiles/rtdvs_dvs.dir/cc_rm_policy.cc.o.d"
+  "CMakeFiles/rtdvs_dvs.dir/interval_policy.cc.o"
+  "CMakeFiles/rtdvs_dvs.dir/interval_policy.cc.o.d"
+  "CMakeFiles/rtdvs_dvs.dir/la_edf_policy.cc.o"
+  "CMakeFiles/rtdvs_dvs.dir/la_edf_policy.cc.o.d"
+  "CMakeFiles/rtdvs_dvs.dir/policy.cc.o"
+  "CMakeFiles/rtdvs_dvs.dir/policy.cc.o.d"
+  "CMakeFiles/rtdvs_dvs.dir/stat_edf_policy.cc.o"
+  "CMakeFiles/rtdvs_dvs.dir/stat_edf_policy.cc.o.d"
+  "CMakeFiles/rtdvs_dvs.dir/static_scaling_policy.cc.o"
+  "CMakeFiles/rtdvs_dvs.dir/static_scaling_policy.cc.o.d"
+  "librtdvs_dvs.a"
+  "librtdvs_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

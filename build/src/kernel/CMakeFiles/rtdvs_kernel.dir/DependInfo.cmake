@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/rtdvs_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/rtdvs_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/powernow_module.cc" "src/kernel/CMakeFiles/rtdvs_kernel.dir/powernow_module.cc.o" "gcc" "src/kernel/CMakeFiles/rtdvs_kernel.dir/powernow_module.cc.o.d"
+  "/root/repo/src/kernel/procfs.cc" "src/kernel/CMakeFiles/rtdvs_kernel.dir/procfs.cc.o" "gcc" "src/kernel/CMakeFiles/rtdvs_kernel.dir/procfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/rtdvs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvs/CMakeFiles/rtdvs_dvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtdvs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtdvs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rtdvs_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

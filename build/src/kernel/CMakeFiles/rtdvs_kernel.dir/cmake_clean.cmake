@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_kernel.dir/kernel.cc.o"
+  "CMakeFiles/rtdvs_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/rtdvs_kernel.dir/powernow_module.cc.o"
+  "CMakeFiles/rtdvs_kernel.dir/powernow_module.cc.o.d"
+  "CMakeFiles/rtdvs_kernel.dir/procfs.cc.o"
+  "CMakeFiles/rtdvs_kernel.dir/procfs.cc.o.d"
+  "librtdvs_kernel.a"
+  "librtdvs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

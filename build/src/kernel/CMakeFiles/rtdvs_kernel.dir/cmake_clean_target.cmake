@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtdvs_kernel.a"
+)

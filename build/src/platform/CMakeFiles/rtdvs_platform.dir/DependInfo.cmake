@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/battery.cc" "src/platform/CMakeFiles/rtdvs_platform.dir/battery.cc.o" "gcc" "src/platform/CMakeFiles/rtdvs_platform.dir/battery.cc.o.d"
+  "/root/repo/src/platform/k6_cpu.cc" "src/platform/CMakeFiles/rtdvs_platform.dir/k6_cpu.cc.o" "gcc" "src/platform/CMakeFiles/rtdvs_platform.dir/k6_cpu.cc.o.d"
+  "/root/repo/src/platform/power_meter.cc" "src/platform/CMakeFiles/rtdvs_platform.dir/power_meter.cc.o" "gcc" "src/platform/CMakeFiles/rtdvs_platform.dir/power_meter.cc.o.d"
+  "/root/repo/src/platform/system_power.cc" "src/platform/CMakeFiles/rtdvs_platform.dir/system_power.cc.o" "gcc" "src/platform/CMakeFiles/rtdvs_platform.dir/system_power.cc.o.d"
+  "/root/repo/src/platform/thermal.cc" "src/platform/CMakeFiles/rtdvs_platform.dir/thermal.cc.o" "gcc" "src/platform/CMakeFiles/rtdvs_platform.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtdvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

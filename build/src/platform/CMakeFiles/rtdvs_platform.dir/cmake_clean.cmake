@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_platform.dir/battery.cc.o"
+  "CMakeFiles/rtdvs_platform.dir/battery.cc.o.d"
+  "CMakeFiles/rtdvs_platform.dir/k6_cpu.cc.o"
+  "CMakeFiles/rtdvs_platform.dir/k6_cpu.cc.o.d"
+  "CMakeFiles/rtdvs_platform.dir/power_meter.cc.o"
+  "CMakeFiles/rtdvs_platform.dir/power_meter.cc.o.d"
+  "CMakeFiles/rtdvs_platform.dir/system_power.cc.o"
+  "CMakeFiles/rtdvs_platform.dir/system_power.cc.o.d"
+  "CMakeFiles/rtdvs_platform.dir/thermal.cc.o"
+  "CMakeFiles/rtdvs_platform.dir/thermal.cc.o.d"
+  "librtdvs_platform.a"
+  "librtdvs_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

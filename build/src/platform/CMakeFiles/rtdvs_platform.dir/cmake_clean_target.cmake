@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtdvs_platform.a"
+)

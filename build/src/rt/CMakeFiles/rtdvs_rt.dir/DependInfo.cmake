@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/aperiodic.cc" "src/rt/CMakeFiles/rtdvs_rt.dir/aperiodic.cc.o" "gcc" "src/rt/CMakeFiles/rtdvs_rt.dir/aperiodic.cc.o.d"
+  "/root/repo/src/rt/exec_time_model.cc" "src/rt/CMakeFiles/rtdvs_rt.dir/exec_time_model.cc.o" "gcc" "src/rt/CMakeFiles/rtdvs_rt.dir/exec_time_model.cc.o.d"
+  "/root/repo/src/rt/schedulability.cc" "src/rt/CMakeFiles/rtdvs_rt.dir/schedulability.cc.o" "gcc" "src/rt/CMakeFiles/rtdvs_rt.dir/schedulability.cc.o.d"
+  "/root/repo/src/rt/scheduler.cc" "src/rt/CMakeFiles/rtdvs_rt.dir/scheduler.cc.o" "gcc" "src/rt/CMakeFiles/rtdvs_rt.dir/scheduler.cc.o.d"
+  "/root/repo/src/rt/task.cc" "src/rt/CMakeFiles/rtdvs_rt.dir/task.cc.o" "gcc" "src/rt/CMakeFiles/rtdvs_rt.dir/task.cc.o.d"
+  "/root/repo/src/rt/taskset_generator.cc" "src/rt/CMakeFiles/rtdvs_rt.dir/taskset_generator.cc.o" "gcc" "src/rt/CMakeFiles/rtdvs_rt.dir/taskset_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtdvs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rtdvs_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

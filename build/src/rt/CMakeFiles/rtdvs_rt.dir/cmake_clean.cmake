@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_rt.dir/aperiodic.cc.o"
+  "CMakeFiles/rtdvs_rt.dir/aperiodic.cc.o.d"
+  "CMakeFiles/rtdvs_rt.dir/exec_time_model.cc.o"
+  "CMakeFiles/rtdvs_rt.dir/exec_time_model.cc.o.d"
+  "CMakeFiles/rtdvs_rt.dir/schedulability.cc.o"
+  "CMakeFiles/rtdvs_rt.dir/schedulability.cc.o.d"
+  "CMakeFiles/rtdvs_rt.dir/scheduler.cc.o"
+  "CMakeFiles/rtdvs_rt.dir/scheduler.cc.o.d"
+  "CMakeFiles/rtdvs_rt.dir/task.cc.o"
+  "CMakeFiles/rtdvs_rt.dir/task.cc.o.d"
+  "CMakeFiles/rtdvs_rt.dir/taskset_generator.cc.o"
+  "CMakeFiles/rtdvs_rt.dir/taskset_generator.cc.o.d"
+  "librtdvs_rt.a"
+  "librtdvs_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

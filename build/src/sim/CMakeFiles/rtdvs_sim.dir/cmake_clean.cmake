@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_sim.dir/simulator.cc.o"
+  "CMakeFiles/rtdvs_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/rtdvs_sim.dir/trace.cc.o"
+  "CMakeFiles/rtdvs_sim.dir/trace.cc.o.d"
+  "librtdvs_sim.a"
+  "librtdvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

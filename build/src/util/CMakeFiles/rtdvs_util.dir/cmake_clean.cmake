@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_util.dir/flags.cc.o"
+  "CMakeFiles/rtdvs_util.dir/flags.cc.o.d"
+  "CMakeFiles/rtdvs_util.dir/logging.cc.o"
+  "CMakeFiles/rtdvs_util.dir/logging.cc.o.d"
+  "CMakeFiles/rtdvs_util.dir/random.cc.o"
+  "CMakeFiles/rtdvs_util.dir/random.cc.o.d"
+  "CMakeFiles/rtdvs_util.dir/stats.cc.o"
+  "CMakeFiles/rtdvs_util.dir/stats.cc.o.d"
+  "CMakeFiles/rtdvs_util.dir/strings.cc.o"
+  "CMakeFiles/rtdvs_util.dir/strings.cc.o.d"
+  "CMakeFiles/rtdvs_util.dir/table.cc.o"
+  "CMakeFiles/rtdvs_util.dir/table.cc.o.d"
+  "CMakeFiles/rtdvs_util.dir/time_eps.cc.o"
+  "CMakeFiles/rtdvs_util.dir/time_eps.cc.o.d"
+  "librtdvs_util.a"
+  "librtdvs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aperiodic_test.dir/rt/aperiodic_test.cc.o"
+  "CMakeFiles/aperiodic_test.dir/rt/aperiodic_test.cc.o.d"
+  "aperiodic_test"
+  "aperiodic_test.pdb"
+  "aperiodic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aperiodic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/exec_time_model_test.cc" "tests/CMakeFiles/exec_time_model_test.dir/rt/exec_time_model_test.cc.o" "gcc" "tests/CMakeFiles/exec_time_model_test.dir/rt/exec_time_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtdvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtdvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvs/CMakeFiles/rtdvs_dvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtdvs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rtdvs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtdvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_time_model_test.dir/rt/exec_time_model_test.cc.o"
+  "CMakeFiles/exec_time_model_test.dir/rt/exec_time_model_test.cc.o.d"
+  "exec_time_model_test"
+  "exec_time_model_test.pdb"
+  "exec_time_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_time_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k6_cpu_test.dir/platform/k6_cpu_test.cc.o"
+  "CMakeFiles/k6_cpu_test.dir/platform/k6_cpu_test.cc.o.d"
+  "k6_cpu_test"
+  "k6_cpu_test.pdb"
+  "k6_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k6_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_behavior_test.dir/dvs/policy_behavior_test.cc.o"
+  "CMakeFiles/policy_behavior_test.dir/dvs/policy_behavior_test.cc.o.d"
+  "policy_behavior_test"
+  "policy_behavior_test.pdb"
+  "policy_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

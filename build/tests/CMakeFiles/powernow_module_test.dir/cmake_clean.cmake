@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powernow_module_test.dir/kernel/powernow_module_test.cc.o"
+  "CMakeFiles/powernow_module_test.dir/kernel/powernow_module_test.cc.o.d"
+  "powernow_module_test"
+  "powernow_module_test.pdb"
+  "powernow_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powernow_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

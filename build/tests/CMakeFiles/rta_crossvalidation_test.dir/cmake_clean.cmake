@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rta_crossvalidation_test.dir/sim/rta_crossvalidation_test.cc.o"
+  "CMakeFiles/rta_crossvalidation_test.dir/sim/rta_crossvalidation_test.cc.o.d"
+  "rta_crossvalidation_test"
+  "rta_crossvalidation_test.pdb"
+  "rta_crossvalidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rta_crossvalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_edf_test.dir/dvs/stat_edf_test.cc.o"
+  "CMakeFiles/stat_edf_test.dir/dvs/stat_edf_test.cc.o.d"
+  "stat_edf_test"
+  "stat_edf_test.pdb"
+  "stat_edf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_edf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskset_generator_test.dir/rt/taskset_generator_test.cc.o"
+  "CMakeFiles/taskset_generator_test.dir/rt/taskset_generator_test.cc.o.d"
+  "taskset_generator_test"
+  "taskset_generator_test.pdb"
+  "taskset_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskset_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

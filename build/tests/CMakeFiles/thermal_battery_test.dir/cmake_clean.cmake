@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_battery_test.dir/platform/thermal_battery_test.cc.o"
+  "CMakeFiles/thermal_battery_test.dir/platform/thermal_battery_test.cc.o.d"
+  "thermal_battery_test"
+  "thermal_battery_test.pdb"
+  "thermal_battery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_battery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

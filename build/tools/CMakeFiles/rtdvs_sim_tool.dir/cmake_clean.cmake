@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_sim_tool.dir/rtdvs_sim.cc.o"
+  "CMakeFiles/rtdvs_sim_tool.dir/rtdvs_sim.cc.o.d"
+  "rtdvs-sim"
+  "rtdvs-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdvs_sweep_tool.dir/rtdvs_sweep.cc.o"
+  "CMakeFiles/rtdvs_sweep_tool.dir/rtdvs_sweep.cc.o.d"
+  "rtdvs-sweep"
+  "rtdvs-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdvs_sweep_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtdvs_sweep_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_rtdvs_sweep "/root/repo/build/tools/rtdvs-sweep" "--policies" "edf,cc_edf" "--utils" "0.3:0.7:0.2" "--tasksets" "3" "--sim-ms" "500" "--misses")
+set_tests_properties(tool_rtdvs_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
