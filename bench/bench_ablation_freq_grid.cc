@@ -16,10 +16,12 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t tasksets = 40;
   int64_t sim_ms = 4000;
+  int64_t jobs = 0;
   double utilization = 0.65;
   FlagSet flags("Ablation: frequency-grid density vs energy (extends Fig 11).");
   flags.AddInt64("tasksets", &tasksets, "random task sets per grid size");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
+  flags.AddInt64("jobs", &jobs, "sweep worker threads (0 = hardware concurrency)");
   flags.AddDouble("utilization", &utilization, "worst-case utilization");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -47,9 +49,10 @@ int Main(int argc, char** argv) {
       return std::make_unique<UniformFractionModel>(0.0, 1.0);
     };
     options.seed = 0x9fd;
+    options.jobs = static_cast<int>(jobs);
     UtilizationSweep sweep(options);
-    auto rows = sweep.Run();
-    const SweepRow& row = rows.front();
+    SweepResult result = sweep.Run();
+    const SweepRow& row = result.rows.front();
     std::vector<std::string> cells = {StrFormat("%zu", n)};
     for (const auto& cell : row.cells) {
       cells.push_back(FormatDouble(cell.normalized_energy.mean(), 4));

@@ -17,10 +17,12 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t tasksets = 30;
   int64_t sim_ms = 5000;
+  int64_t jobs = 0;
   FlagSet flags("Ablation (§2.2): interval-based DVS vs RT-DVS — energy and "
                 "deadline misses under bursty load.");
   flags.AddInt64("tasksets", &tasksets, "random task sets per utilization point");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
+  flags.AddInt64("jobs", &jobs, "sweep worker threads (0 = hardware concurrency)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -36,17 +38,17 @@ int Main(int argc, char** argv) {
     return std::make_unique<BimodalFractionModel>(0.3, 0.05);
   };
   options.seed = 0xab1a;
+  options.jobs = static_cast<int>(jobs);
 
   UtilizationSweep sweep(options);
-  auto rows = sweep.Run();
+  SweepResult result = sweep.Run();
   std::cout << "== Ablation: interval DVS vs RT-DVS (bursty workload) ==\n";
   std::cout << "normalized energy (vs plain EDF):\n";
-  TextTable energy = sweep.ToTable(rows, /*normalized=*/true);
-  energy.Print(std::cout);
-  energy.PrintCsv(std::cout, "csv,ablation_interval_energy");
+  RenderEnergyTable(result, /*normalized=*/true).Print(std::cout);
+  WriteCsv(result, std::cout, "csv,ablation_interval");
   std::cout << "\ntotal deadline misses (" << tasksets
             << " task sets per point; RT-DVS rows must be zero):\n";
-  TextTable misses = sweep.MissTable(rows);
+  TextTable misses = RenderMissTable(result);
   misses.Print(std::cout);
   misses.PrintCsv(std::cout, "csv,ablation_interval_misses");
   return 0;

@@ -15,10 +15,12 @@ namespace {
 int Main(int argc, char** argv) {
   int64_t tasksets = 40;
   int64_t sim_ms = 4000;
+  int64_t jobs = 0;
   FlagSet flags("Ablation: sufficient vs exact RM schedulability test in "
                 "static voltage scaling.");
   flags.AddInt64("tasksets", &tasksets, "random task sets per point");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
+  flags.AddInt64("jobs", &jobs, "sweep worker threads (0 = hardware concurrency)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -34,17 +36,17 @@ int Main(int argc, char** argv) {
     return std::make_unique<ConstantFractionModel>(1.0);
   };
   options.seed = 0xe8ac7;
+  options.jobs = static_cast<int>(jobs);
 
   UtilizationSweep sweep(options);
-  auto rows = sweep.Run();
+  SweepResult result = sweep.Run();
   std::cout << "== Ablation: static RM scaling, sufficient vs exact test "
                "(machine 2, worst-case execution, EDF-normalized) ==\n";
-  TextTable table = sweep.ToTable(rows, /*normalized=*/true);
-  table.Print(std::cout);
-  table.PrintCsv(std::cout, "csv,ablation_rm_exact");
+  RenderEnergyTable(result, /*normalized=*/true).Print(std::cout);
+  WriteCsv(result, std::cout, "csv,ablation_rm_exact");
   std::cout << "deadline misses (must be zero everywhere — the exact test is "
                "still a guarantee):\n";
-  sweep.MissTable(rows).Print(std::cout);
+  RenderMissTable(result).Print(std::cout);
   return 0;
 }
 

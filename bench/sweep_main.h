@@ -27,6 +27,7 @@ struct SweepBenchConfig {
 struct SweepBenchFlags {
   int64_t tasksets = 50;
   int64_t sim_ms = 5000;
+  int64_t jobs = 0;    // worker threads; 0 = hardware concurrency
   bool quick = false;  // 10 task sets, coarse grid: CI-friendly smoke run
 };
 
@@ -37,13 +38,24 @@ inline bool ParseSweepFlags(int argc, char** argv, const std::string& descriptio
   flag_set.AddInt64("tasksets", &flags->tasksets,
                     "random task sets per utilization point");
   flag_set.AddInt64("sim-ms", &flags->sim_ms, "simulated horizon per run (ms)");
+  flag_set.AddInt64("jobs", &flags->jobs,
+                    "sweep worker threads (0 = hardware concurrency); results "
+                    "are identical for every value");
   flag_set.AddBool("quick", &flags->quick, "coarse smoke-test configuration");
-  return flag_set.Parse(argc, argv);
+  if (!flag_set.Parse(argc, argv)) {
+    return false;
+  }
+  if (flags->jobs < 0) {
+    std::fprintf(stderr, "error: --jobs must be >= 0 (0 = hardware concurrency)\n");
+    return false;
+  }
+  return true;
 }
 
 inline void ApplySweepFlags(const SweepBenchFlags& flags, SweepOptions* options) {
   options->tasksets_per_point = static_cast<int>(flags.tasksets);
   options->horizon_ms = static_cast<double>(flags.sim_ms);
+  options->jobs = static_cast<int>(flags.jobs);
   if (flags.quick) {
     options->tasksets_per_point = 10;
     options->horizon_ms = 1000.0;
@@ -53,30 +65,25 @@ inline void ApplySweepFlags(const SweepBenchFlags& flags, SweepOptions* options)
 
 inline void RunAndPrintSweep(const SweepBenchConfig& config) {
   UtilizationSweep sweep(config.options);
-  auto rows = sweep.Run();
+  SweepResult result = sweep.Run();
   std::cout << "== " << config.title << " ==\n";
   std::cout << "machine: " << config.options.machine.ToString() << "\n";
   std::cout << (config.normalized ? "energy normalized to plain EDF\n"
                                   : "energy (arbitrary units per simulated second)\n");
-  TextTable table = sweep.ToTable(rows, config.normalized);
-  table.Print(std::cout);
-  table.PrintCsv(std::cout, "csv," + config.csv_tag);
+  RenderEnergyTable(result, config.normalized).Print(std::cout);
+  WriteCsv(result, std::cout, "csv," + config.csv_tag);
   // Deadline misses are part of the claim: RT-DVS must not trade deadlines
   // for energy. Print only if something missed.
-  bool any_miss = false;
-  for (const auto& row : rows) {
-    for (const auto& cell : row.cells) {
-      any_miss = any_miss || cell.deadline_misses > 0;
-    }
-  }
-  if (any_miss) {
+  if (AnyDeadlineMiss(result)) {
     std::cout << "deadline misses (nonzero somewhere -- RM-based policies are "
                  "only guaranteed when the RM test admits the set):\n";
-    sweep.MissTable(rows).Print(std::cout);
+    RenderMissTable(result).Print(std::cout);
   } else {
     std::cout << "deadline misses: none under any policy\n";
   }
-  std::cout << "\n";
+  std::cout << StrFormat("elapsed: %.0f ms wall, %.0f ms cpu (jobs=%d)\n\n",
+                         result.elapsed_wall_ms, result.elapsed_cpu_ms,
+                         result.options.jobs);
 }
 
 }  // namespace rtdvs

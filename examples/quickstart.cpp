@@ -40,9 +40,8 @@ int main() {
   std::cout << "------------------------------------------------------\n";
   double edf_energy = 0;
   for (const auto& id : AllPaperPolicyIds()) {
-    auto policy = MakePolicy(id);
     UniformFractionModel model = exec_model;  // same seed path for fairness
-    SimResult result = RunSimulation(tasks, machine, *policy, model, options);
+    SimResult result = RunSimulation(tasks, machine, id, model, options);
     if (id == "edf") {
       edf_energy = result.total_energy();
     }
@@ -53,9 +52,8 @@ int main() {
   }
 
   // The theoretical floor for this workload (§3.2 of the paper):
-  auto policy = MakePolicy("la_edf");
   UniformFractionModel model = exec_model;
-  SimResult la = RunSimulation(tasks, machine, *policy, model, options);
+  SimResult la = RunSimulation(tasks, machine, "la_edf", model, options);
   std::printf("%-16s %8.0f   (no schedule can beat this)\n", "lower bound",
               la.lower_bound_energy);
   return 0;

@@ -1,10 +1,95 @@
 #include "src/core/sweep.h"
 
+#include <chrono>
+#include <ctime>
+#include <future>
+#include <utility>
+
 #include "src/dvs/policy.h"
 #include "src/util/check.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace rtdvs {
+namespace {
+
+// Everything one (utilization, task set) shard produces: the raw per-run
+// numbers, NOT RunningStats. Shards run concurrently in arbitrary order;
+// the merge loop replays these into RunningStats in serial grid order so
+// the aggregate floating-point arithmetic is identical for every jobs
+// value (Welford updates are order-sensitive).
+struct ShardOutcome {
+  double edf_energy = 0;
+  double lower_bound = 0;
+  struct PerPolicy {
+    double energy = 0;
+    int64_t deadline_misses = 0;
+  };
+  std::vector<PerPolicy> policies;  // parallel to options.policy_ids
+};
+
+// Runs every policy on one generated task set. `set_rng` must be the fork
+// the serial grid order assigns to this shard; the draw sequence below is
+// byte-for-byte the one the original serial loop performed.
+ShardOutcome RunShard(const SweepOptions& options, double utilization,
+                      Pcg32 set_rng) {
+  TaskSetGeneratorOptions gen_options;
+  gen_options.num_tasks = options.num_tasks;
+  gen_options.target_utilization = utilization;
+  TaskSetGenerator generator(gen_options);
+
+  TaskSet tasks = options.use_uunifast
+                      ? GenerateUUniFast(options.num_tasks, utilization, set_rng)
+                      : generator.Generate(set_rng);
+  // One seed per task set: every policy replays the same actual
+  // execution-time draws (see the determinism note in the header).
+  uint64_t workload_seed =
+      (static_cast<uint64_t>(set_rng.NextU32()) << 32) | set_rng.NextU32();
+
+  SimOptions sim_options;
+  sim_options.horizon_ms = options.horizon_ms;
+  sim_options.idle_level = options.idle_level;
+  sim_options.seed = workload_seed;
+
+  ShardOutcome outcome;
+  outcome.policies.resize(options.policy_ids.size());
+
+  // Baseline first: plain EDF energy for normalization, and the bound.
+  auto edf = MakePolicy("edf");
+  auto edf_model = options.exec_model_factory();
+  SimResult edf_result =
+      RunSimulation(tasks, options.machine, *edf, *edf_model, sim_options);
+  outcome.edf_energy = edf_result.total_energy();
+  outcome.lower_bound = edf_result.lower_bound_energy;
+
+  for (size_t p = 0; p < options.policy_ids.size(); ++p) {
+    SimResult result;
+    if (options.policy_ids[p] == "edf") {
+      result = edf_result;  // no need to rerun the baseline
+    } else {
+      auto policy = MakePolicy(options.policy_ids[p]);
+      auto model = options.exec_model_factory();
+      result = RunSimulation(tasks, options.machine, *policy, *model, sim_options);
+    }
+    outcome.policies[p].energy = result.total_energy();
+    outcome.policies[p].deadline_misses = result.deadline_misses;
+  }
+  return outcome;
+}
+
+std::vector<std::string> PolicyHeader(const SweepResult& result,
+                                      bool with_bound) {
+  std::vector<std::string> header = {"utilization"};
+  for (const auto& id : result.options.policy_ids) {
+    header.push_back(MakePolicy(id)->name());
+  }
+  if (with_bound) {
+    header.push_back("bound");
+  }
+  return header;
+}
+
+}  // namespace
 
 std::vector<double> DefaultUtilizationGrid() {
   std::vector<double> grid;
@@ -23,105 +108,119 @@ UtilizationSweep::UtilizationSweep(SweepOptions options) : options_(std::move(op
   }
   RTDVS_CHECK_GT(options_.tasksets_per_point, 0);
   RTDVS_CHECK_GT(options_.num_tasks, 0);
+  RTDVS_CHECK_GE(options_.jobs, 0);
   RTDVS_CHECK(options_.exec_model_factory != nullptr);
 }
 
-std::vector<SweepRow> UtilizationSweep::Run() const {
-  std::vector<SweepRow> rows;
+SweepResult UtilizationSweep::Run() const {
+  const int jobs =
+      options_.jobs > 0 ? options_.jobs : ThreadPool::DefaultNumThreads();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::clock_t cpu_start = std::clock();
+
+  SweepResult result = RunShards(jobs);
+
+  result.options = options_;
+  result.options.jobs = jobs;  // echo the resolved value
+  result.elapsed_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+  result.elapsed_cpu_ms = (std::clock() - cpu_start) * 1000.0 /
+                          static_cast<double>(CLOCKS_PER_SEC);
+  return result;
+}
+
+SweepResult UtilizationSweep::RunShards(int jobs) const {
+  const size_t num_utils = options_.utilizations.size();
+  const size_t sets = static_cast<size_t>(options_.tasksets_per_point);
+
+  // Fork every shard's RNG from the master in serial grid order, before any
+  // shard runs: the streams each shard sees are independent of jobs, and
+  // adding sweep points still does not perturb earlier ones.
   Pcg32 master(options_.seed);
+  std::vector<Pcg32> shard_rngs;
+  shard_rngs.reserve(num_utils * sets);
+  for (size_t ui = 0; ui < num_utils; ++ui) {
+    for (size_t si = 0; si < sets; ++si) {
+      shard_rngs.push_back(master.Fork());
+    }
+  }
 
-  for (double utilization : options_.utilizations) {
-    SweepRow row;
-    row.utilization = utilization;
-    row.cells.resize(options_.policy_ids.size());
-
-    TaskSetGeneratorOptions gen_options;
-    gen_options.num_tasks = options_.num_tasks;
-    gen_options.target_utilization = utilization;
-    TaskSetGenerator generator(gen_options);
-
-    for (int set_index = 0; set_index < options_.tasksets_per_point; ++set_index) {
-      Pcg32 set_rng = master.Fork();
-      TaskSet tasks = options_.use_uunifast
-                          ? GenerateUUniFast(options_.num_tasks, utilization, set_rng)
-                          : generator.Generate(set_rng);
-      // One seed per task set: every policy replays the same actual
-      // execution-time draws (see the determinism note in the header).
-      uint64_t workload_seed =
-          (static_cast<uint64_t>(set_rng.NextU32()) << 32) | set_rng.NextU32();
-
-      SimOptions sim_options;
-      sim_options.horizon_ms = options_.horizon_ms;
-      sim_options.idle_level = options_.idle_level;
-      sim_options.seed = workload_seed;
-
-      // Baseline first: plain EDF energy for normalization, and the bound.
-      auto edf = MakePolicy("edf");
-      auto edf_model = options_.exec_model_factory();
-      SimResult edf_result =
-          RunSimulation(tasks, options_.machine, *edf, *edf_model, sim_options);
-      const double edf_energy = edf_result.total_energy();
-      row.bound.Add(edf_result.lower_bound_energy);
-      if (edf_energy > 0) {
-        row.normalized_bound.Add(edf_result.lower_bound_energy / edf_energy);
+  std::vector<ShardOutcome> outcomes(num_utils * sets);
+  {
+    ThreadPool pool(jobs);
+    std::vector<std::future<void>> pending;
+    pending.reserve(outcomes.size());
+    for (size_t ui = 0; ui < num_utils; ++ui) {
+      const double utilization = options_.utilizations[ui];
+      for (size_t si = 0; si < sets; ++si) {
+        const size_t shard = ui * sets + si;
+        pending.push_back(pool.Submit([this, utilization, shard, &shard_rngs,
+                                       &outcomes] {
+          outcomes[shard] = RunShard(options_, utilization, shard_rngs[shard]);
+        }));
       }
+    }
+    for (auto& future : pending) {
+      future.get();  // rethrows the first shard failure on this thread
+    }
+  }
 
+  // Merge in serial grid order. The Add() sequence below is exactly the one
+  // the serial implementation performed inline, so means/variances are
+  // bit-identical regardless of how shards interleaved above.
+  SweepResult result;
+  result.rows.reserve(num_utils);
+  for (size_t ui = 0; ui < num_utils; ++ui) {
+    SweepRow row;
+    row.utilization = options_.utilizations[ui];
+    row.cells.resize(options_.policy_ids.size());
+    for (size_t si = 0; si < sets; ++si) {
+      const ShardOutcome& outcome = outcomes[ui * sets + si];
+      row.bound.Add(outcome.lower_bound);
+      if (outcome.edf_energy > 0) {
+        row.normalized_bound.Add(outcome.lower_bound / outcome.edf_energy);
+      }
       for (size_t p = 0; p < options_.policy_ids.size(); ++p) {
-        SimResult result;
-        if (options_.policy_ids[p] == "edf") {
-          result = edf_result;  // no need to rerun the baseline
-        } else {
-          auto policy = MakePolicy(options_.policy_ids[p]);
-          auto model = options_.exec_model_factory();
-          result = RunSimulation(tasks, options_.machine, *policy, *model, sim_options);
-        }
         PolicyCell& cell = row.cells[p];
-        cell.energy.Add(result.total_energy());
-        if (edf_energy > 0) {
-          cell.normalized_energy.Add(result.total_energy() / edf_energy);
+        cell.energy.Add(outcome.policies[p].energy);
+        if (outcome.edf_energy > 0) {
+          cell.normalized_energy.Add(outcome.policies[p].energy /
+                                     outcome.edf_energy);
         }
-        cell.deadline_misses += result.deadline_misses;
-        if (result.deadline_misses > 0) {
+        cell.deadline_misses += outcome.policies[p].deadline_misses;
+        if (outcome.policies[p].deadline_misses > 0) {
           ++cell.tasksets_with_misses;
         }
       }
     }
-    rows.push_back(std::move(row));
+    result.rows.push_back(std::move(row));
   }
-  return rows;
+  return result;
 }
 
-TextTable UtilizationSweep::ToTable(const std::vector<SweepRow>& rows,
-                                    bool normalized) const {
-  std::vector<std::string> header = {"utilization"};
-  for (const auto& id : options_.policy_ids) {
-    header.push_back(MakePolicy(id)->name());
-  }
-  header.push_back("bound");
-  TextTable table(std::move(header));
-  for (const auto& row : rows) {
+TextTable RenderEnergyTable(const SweepResult& result, bool normalized) {
+  TextTable table(PolicyHeader(result, /*with_bound=*/true));
+  const double horizon_ms = result.options.horizon_ms;
+  for (const auto& row : result.rows) {
     std::vector<std::string> cells = {FormatDouble(row.utilization, 2)};
     for (const auto& cell : row.cells) {
-      double value =
-          normalized ? cell.normalized_energy.mean()
-                     : cell.energy.mean() / options_.horizon_ms * 1000.0;  // per second
+      double value = normalized ? cell.normalized_energy.mean()
+                                : cell.energy.mean() / horizon_ms * 1000.0;  // per second
       cells.push_back(FormatDouble(value, 4));
     }
     cells.push_back(FormatDouble(normalized ? row.normalized_bound.mean()
-                                            : row.bound.mean() / options_.horizon_ms * 1000.0,
+                                            : row.bound.mean() / horizon_ms * 1000.0,
                                  4));
     table.AddRow(std::move(cells));
   }
   return table;
 }
 
-TextTable UtilizationSweep::MissTable(const std::vector<SweepRow>& rows) const {
-  std::vector<std::string> header = {"utilization"};
-  for (const auto& id : options_.policy_ids) {
-    header.push_back(MakePolicy(id)->name());
-  }
-  TextTable table(std::move(header));
-  for (const auto& row : rows) {
+TextTable RenderMissTable(const SweepResult& result) {
+  TextTable table(PolicyHeader(result, /*with_bound=*/false));
+  for (const auto& row : result.rows) {
     std::vector<std::string> cells = {FormatDouble(row.utilization, 2)};
     for (const auto& cell : row.cells) {
       cells.push_back(StrFormat("%lld", static_cast<long long>(cell.deadline_misses)));
@@ -129,6 +228,40 @@ TextTable UtilizationSweep::MissTable(const std::vector<SweepRow>& rows) const {
     table.AddRow(std::move(cells));
   }
   return table;
+}
+
+bool AnyDeadlineMiss(const SweepResult& result) {
+  for (const auto& row : result.rows) {
+    for (const auto& cell : row.cells) {
+      if (cell.deadline_misses > 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void WriteCsv(const SweepResult& result, std::ostream& out,
+              const std::string& prefix) {
+  out << prefix
+      << ",utilization,policy,energy,normalized,stderr_normalized,"
+         "deadline_misses,tasksets_with_misses\n";
+  const double horizon_ms = result.options.horizon_ms;
+  for (const auto& row : result.rows) {
+    for (size_t p = 0; p < row.cells.size(); ++p) {
+      const PolicyCell& cell = row.cells[p];
+      out << prefix << ',' << FormatDouble(row.utilization, 2) << ','
+          << result.options.policy_ids[p] << ','
+          << FormatDouble(cell.energy.mean() / horizon_ms * 1000.0, 6) << ','
+          << FormatDouble(cell.normalized_energy.mean(), 6) << ','
+          << FormatDouble(cell.normalized_energy.stderr_mean(), 6) << ','
+          << cell.deadline_misses << ',' << cell.tasksets_with_misses << '\n';
+    }
+    out << prefix << ',' << FormatDouble(row.utilization, 2) << ",bound,"
+        << FormatDouble(row.bound.mean() / horizon_ms * 1000.0, 6) << ','
+        << FormatDouble(row.normalized_bound.mean(), 6) << ','
+        << FormatDouble(row.normalized_bound.stderr_mean(), 6) << ",0,0\n";
+  }
 }
 
 }  // namespace rtdvs

@@ -12,11 +12,20 @@
 // policy. Re-seeding per (utilization, task set) therefore gives all
 // policies an identical workload — paired comparison, not just equal
 // distributions.
+//
+// Parallelism note: the grid is embarrassingly parallel at the
+// (utilization, task set) granularity, and Run() shards it exactly there
+// across a fixed worker pool (SweepOptions::jobs). Each shard's generator
+// stream is forked from the master RNG in serial grid order BEFORE any
+// shard runs, and shard outputs are merged into RunningStats in the same
+// serial order, so the result is bit-identical for every jobs value — the
+// paired-comparison guarantee above survives parallel execution.
 #ifndef SRC_CORE_SWEEP_H_
 #define SRC_CORE_SWEEP_H_
 
 #include <functional>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -39,12 +48,18 @@ struct SweepOptions {
   double horizon_ms = 5000.0;
   double idle_level = 0.0;
   MachineSpec machine = MachineSpec::Machine0();
-  // Fresh execution-time model per run (models may keep no cross-run state).
+  // Fresh execution-time model per run (models may keep no cross-run
+  // state). Invoked concurrently from worker threads, so the factory must
+  // be thread-safe; stateless lambdas capturing by value (every current
+  // caller) trivially are.
   std::function<std::unique_ptr<ExecTimeModel>()> exec_model_factory =
       [] { return std::make_unique<ConstantFractionModel>(1.0); };
   // Optional non-paper generator (UUniFast ablation).
   bool use_uunifast = false;
   uint64_t seed = 20010901;  // SOSP'01
+  // Worker threads for the sweep; 0 = hardware concurrency. Any value
+  // produces bit-identical results (see the parallelism note above).
+  int jobs = 0;
 };
 
 // Aggregated outcome of one policy at one utilization point.
@@ -62,28 +77,53 @@ struct SweepRow {
   RunningStats normalized_bound;   // bound / EDF energy
 };
 
+// The complete outcome of one sweep: the data, an echo of the (resolved)
+// options that produced it, and how long it took. A plain value type —
+// renderers below consume it, and callers can persist or merge it freely.
+struct SweepResult {
+  std::vector<SweepRow> rows;
+  SweepOptions options;        // as resolved by UtilizationSweep (defaults
+                               // filled in, jobs echoed as actually used)
+  double elapsed_wall_ms = 0;  // wall-clock time of Run()
+  double elapsed_cpu_ms = 0;   // process CPU time of Run(), all threads
+};
+
 class UtilizationSweep {
  public:
   explicit UtilizationSweep(SweepOptions options);
 
   // Runs the full grid. Cost: |utilizations| * tasksets_per_point *
-  // (|policies|+1) simulations.
-  std::vector<SweepRow> Run() const;
-
-  // Renders rows as the paper's figures do: one column per policy plus the
-  // bound. `normalized` selects EDF-relative values (Figs 10-13) vs
-  // absolute energy per second (Fig 9).
-  TextTable ToTable(const std::vector<SweepRow>& rows, bool normalized) const;
-
-  // Convenience: a table of total deadline misses per policy/utilization;
-  // all-zero rows are the expected outcome for RT-DVS policies.
-  TextTable MissTable(const std::vector<SweepRow>& rows) const;
+  // (|policies|+1) simulations, spread over options.jobs workers.
+  SweepResult Run() const;
 
   const SweepOptions& options() const { return options_; }
 
  private:
+  SweepResult RunShards(int jobs) const;
+
   SweepOptions options_;
 };
+
+// Renders a result as the paper's figures do: one column per policy plus
+// the bound. `normalized` selects EDF-relative values (Figs 10-13) vs
+// absolute energy per second (Fig 9).
+TextTable RenderEnergyTable(const SweepResult& result, bool normalized);
+
+// A table of total deadline misses per policy/utilization; all-zero rows
+// are the expected outcome for RT-DVS policies.
+TextTable RenderMissTable(const SweepResult& result);
+
+// True when any policy missed a deadline anywhere in the sweep.
+bool AnyDeadlineMiss(const SweepResult& result);
+
+// Emits the result as long-form CSV, one "<prefix>,..." line per
+// (utilization, policy) plus one per-utilization "bound" row:
+//   <prefix>,utilization,policy,energy,normalized,stderr_normalized,
+//            deadline_misses,tasksets_with_misses
+// The prefix keeps CSV greppable out of mixed stdout; energy is absolute
+// units per simulated second, matching RenderEnergyTable(normalized=false).
+void WriteCsv(const SweepResult& result, std::ostream& out,
+              const std::string& prefix = "csv");
 
 // The default utilization grid 0.05, 0.10, ..., 1.0.
 std::vector<double> DefaultUtilizationGrid();

@@ -520,6 +520,13 @@ SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
   return sim.Run();
 }
 
+SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
+                        const std::string& policy_id, ExecTimeModel& exec_model,
+                        const SimOptions& options) {
+  std::unique_ptr<DvsPolicy> policy = MakePolicy(policy_id);
+  return RunSimulation(tasks, machine, *policy, exec_model, options);
+}
+
 std::string SimResult::Summary() const {
   return StrFormat(
       "%s: energy=%.4g (exec=%.4g idle=%.4g, bound=%.4g) misses=%lld "

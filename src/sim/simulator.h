@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <optional>
@@ -116,6 +117,12 @@ class Simulator {
 // Convenience wrapper: builds the policy's matching scheduler and runs.
 SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
                         DvsPolicy& policy, ExecTimeModel& exec_model,
+                        const SimOptions& options);
+
+// Same, resolving the policy from its factory id (see MakePolicy for the
+// valid ids) so callers need not hand-wire a policy object per run.
+SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
+                        const std::string& policy_id, ExecTimeModel& exec_model,
                         const SimOptions& options);
 
 }  // namespace rtdvs

@@ -1,0 +1,46 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace rtdvs {
+
+int ThreadPool::DefaultNumThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions are captured by the packaged_task wrapper
+  }
+}
+
+}  // namespace rtdvs

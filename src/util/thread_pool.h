@@ -1,0 +1,70 @@
+// A fixed-size worker pool with futures-based submission.
+//
+// Deliberately minimal — no work stealing, no priorities, no resizing: tasks
+// are executed in FIFO submission order by whichever worker frees up first.
+// The sweep engine (src/core/sweep.cc) relies only on Submit() returning a
+// std::future, so determinism is the *caller's* job: shard the work so each
+// task is independent, then merge results in a fixed order.
+//
+// Exceptions thrown by a task are captured in its future (via
+// std::packaged_task) and rethrow from future::get() on the caller's thread.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rtdvs {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  // Drains nothing: joins after finishing every task already submitted.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `f` and returns a future for its result. If `f` throws, the
+  // exception is delivered by the future's get().
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // The machine's hardware concurrency, floored at 1 (the standard permits
+  // hardware_concurrency() == 0 when unknowable).
+  static int DefaultNumThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

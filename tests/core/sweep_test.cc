@@ -19,22 +19,27 @@ SweepOptions SmallOptions() {
 
 TEST(UtilizationSweep, ProducesOneRowPerUtilizationWithAllPolicies) {
   UtilizationSweep sweep(SmallOptions());
-  auto rows = sweep.Run();
-  ASSERT_EQ(rows.size(), 2u);
-  EXPECT_DOUBLE_EQ(rows[0].utilization, 0.3);
-  EXPECT_DOUBLE_EQ(rows[1].utilization, 0.7);
-  for (const auto& row : rows) {
+  SweepResult result = sweep.Run();
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.rows[0].utilization, 0.3);
+  EXPECT_DOUBLE_EQ(result.rows[1].utilization, 0.7);
+  for (const auto& row : result.rows) {
     ASSERT_EQ(row.cells.size(), AllPaperPolicyIds().size());
     for (const auto& cell : row.cells) {
       EXPECT_EQ(cell.energy.count(), 4u);
     }
   }
+  // The result echoes the resolved options and reports elapsed times.
+  EXPECT_EQ(result.options.policy_ids, AllPaperPolicyIds());
+  EXPECT_GT(result.options.jobs, 0);
+  EXPECT_GT(result.elapsed_wall_ms, 0.0);
+  EXPECT_GE(result.elapsed_cpu_ms, 0.0);
 }
 
 TEST(UtilizationSweep, InvariantsHoldPerRow) {
   UtilizationSweep sweep(SmallOptions());
-  auto rows = sweep.Run();
-  for (const auto& row : rows) {
+  SweepResult result = sweep.Run();
+  for (const auto& row : result.rows) {
     // Plain EDF is the first policy: its normalized energy is exactly 1.
     EXPECT_NEAR(row.cells[0].normalized_energy.mean(), 1.0, 1e-12);
     // The bound column (computed on EDF's workload) never exceeds EDF.
@@ -58,21 +63,78 @@ TEST(UtilizationSweep, InvariantsHoldPerRow) {
 TEST(UtilizationSweep, DeterministicForSameSeed) {
   UtilizationSweep a(SmallOptions());
   UtilizationSweep b(SmallOptions());
-  auto rows_a = a.Run();
-  auto rows_b = b.Run();
-  ASSERT_EQ(rows_a.size(), rows_b.size());
-  for (size_t r = 0; r < rows_a.size(); ++r) {
-    for (size_t p = 0; p < rows_a[r].cells.size(); ++p) {
-      EXPECT_DOUBLE_EQ(rows_a[r].cells[p].energy.mean(),
-                       rows_b[r].cells[p].energy.mean());
+  SweepResult result_a = a.Run();
+  SweepResult result_b = b.Run();
+  ASSERT_EQ(result_a.rows.size(), result_b.rows.size());
+  for (size_t r = 0; r < result_a.rows.size(); ++r) {
+    for (size_t p = 0; p < result_a.rows[r].cells.size(); ++p) {
+      EXPECT_DOUBLE_EQ(result_a.rows[r].cells[p].energy.mean(),
+                       result_b.rows[r].cells[p].energy.mean());
     }
   }
 }
 
+// The paired-comparison guarantee must survive parallel execution: a sweep
+// run on one worker and the same sweep run on many workers must agree on
+// every field, bit for bit (EXPECT_EQ on doubles, no tolerance).
+TEST(UtilizationSweep, ParallelRunBitIdenticalToSerial) {
+  SweepOptions serial_options = SmallOptions();
+  serial_options.jobs = 1;
+  SweepOptions parallel_options = SmallOptions();
+  parallel_options.jobs = 4;
+
+  SweepResult serial = UtilizationSweep(serial_options).Run();
+  SweepResult parallel = UtilizationSweep(parallel_options).Run();
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (size_t r = 0; r < serial.rows.size(); ++r) {
+    const SweepRow& s = serial.rows[r];
+    const SweepRow& q = parallel.rows[r];
+    EXPECT_EQ(s.utilization, q.utilization);
+    EXPECT_EQ(s.bound.count(), q.bound.count());
+    EXPECT_EQ(s.bound.mean(), q.bound.mean());
+    EXPECT_EQ(s.bound.variance(), q.bound.variance());
+    EXPECT_EQ(s.bound.min(), q.bound.min());
+    EXPECT_EQ(s.bound.max(), q.bound.max());
+    EXPECT_EQ(s.normalized_bound.mean(), q.normalized_bound.mean());
+    EXPECT_EQ(s.normalized_bound.variance(), q.normalized_bound.variance());
+    ASSERT_EQ(s.cells.size(), q.cells.size());
+    for (size_t p = 0; p < s.cells.size(); ++p) {
+      EXPECT_EQ(s.cells[p].energy.count(), q.cells[p].energy.count());
+      EXPECT_EQ(s.cells[p].energy.mean(), q.cells[p].energy.mean());
+      EXPECT_EQ(s.cells[p].energy.variance(), q.cells[p].energy.variance());
+      EXPECT_EQ(s.cells[p].energy.min(), q.cells[p].energy.min());
+      EXPECT_EQ(s.cells[p].energy.max(), q.cells[p].energy.max());
+      EXPECT_EQ(s.cells[p].normalized_energy.mean(),
+                q.cells[p].normalized_energy.mean());
+      EXPECT_EQ(s.cells[p].normalized_energy.variance(),
+                q.cells[p].normalized_energy.variance());
+      EXPECT_EQ(s.cells[p].deadline_misses, q.cells[p].deadline_misses);
+      EXPECT_EQ(s.cells[p].tasksets_with_misses, q.cells[p].tasksets_with_misses);
+    }
+  }
+  // And the rendered artifacts agree byte for byte.
+  std::ostringstream csv_serial, csv_parallel;
+  WriteCsv(serial, csv_serial);
+  WriteCsv(parallel, csv_parallel);
+  EXPECT_EQ(csv_serial.str(), csv_parallel.str());
+}
+
+TEST(UtilizationSweep, JobsBeyondShardCountStillComplete) {
+  SweepOptions options = SmallOptions();
+  options.utilizations = {0.5};
+  options.tasksets_per_point = 2;
+  options.jobs = 16;  // more workers than shards
+  SweepResult result = UtilizationSweep(options).Run();
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].cells[0].energy.count(), 2u);
+  EXPECT_EQ(result.options.jobs, 16);
+}
+
 TEST(UtilizationSweep, TablesRenderAllColumns) {
   UtilizationSweep sweep(SmallOptions());
-  auto rows = sweep.Run();
-  TextTable table = sweep.ToTable(rows, /*normalized=*/true);
+  SweepResult result = sweep.Run();
+  TextTable table = RenderEnergyTable(result, /*normalized=*/true);
   std::ostringstream out;
   table.Print(out);
   std::string text = out.str();
@@ -81,8 +143,27 @@ TEST(UtilizationSweep, TablesRenderAllColumns) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
   std::ostringstream miss_out;
-  sweep.MissTable(rows).Print(miss_out);
+  RenderMissTable(result).Print(miss_out);
   EXPECT_NE(miss_out.str().find("ccRM"), std::string::npos);
+}
+
+TEST(UtilizationSweep, WriteCsvEmitsOneLinePerPolicyPlusBound) {
+  SweepOptions options = SmallOptions();
+  options.utilizations = {0.5};
+  UtilizationSweep sweep(options);
+  SweepResult result = sweep.Run();
+  std::ostringstream out;
+  WriteCsv(result, out, "csv,tag");
+  std::string text = out.str();
+  // Header + one line per policy + the bound line.
+  size_t lines = 0;
+  for (char c : text) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, 1 + AllPaperPolicyIds().size() + 1);
+  EXPECT_NE(text.find("csv,tag,utilization,policy,"), std::string::npos);
+  EXPECT_NE(text.find("csv,tag,0.5,edf,"), std::string::npos);
+  EXPECT_NE(text.find("csv,tag,0.5,bound,"), std::string::npos);
 }
 
 TEST(UtilizationSweep, UUniFastGeneratorAlsoWorks) {
@@ -90,9 +171,9 @@ TEST(UtilizationSweep, UUniFastGeneratorAlsoWorks) {
   options.use_uunifast = true;
   options.utilizations = {0.5};
   UtilizationSweep sweep(options);
-  auto rows = sweep.Run();
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_LE(rows[0].cells.back().normalized_energy.mean(), 1.0 + 1e-9);
+  SweepResult result = sweep.Run();
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_LE(result.rows[0].cells.back().normalized_energy.mean(), 1.0 + 1e-9);
 }
 
 TEST(DefaultUtilizationGrid, TwentyPointsFrom5To100Percent) {

@@ -34,15 +34,15 @@ TEST(EdgeCases, SinglePointMachineDegeneratesToNoDvs) {
 
 TEST(EdgeCases, FullUtilizationHarmonicSetMeetsEveryDeadline) {
   // U = 1.0 exactly, harmonic periods: EDF-based policies must be perfect
-  // and have zero idle time at c = 1.
+  // and have zero idle time at c = 1. Uses the policy-id RunSimulation
+  // overload: the factory picks the matching scheduler internally.
   TaskSet tasks({{"a", 10, 5, 0}, {"b", 20, 10, 0}});
   for (const char* id : {"edf", "static_edf", "cc_edf", "la_edf"}) {
-    auto policy = MakePolicy(id);
     ConstantFractionModel model(1.0);
     SimOptions options;
     options.horizon_ms = 400.0;
     SimResult result =
-        RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+        RunSimulation(tasks, MachineSpec::Machine0(), id, model, options);
     EXPECT_EQ(result.deadline_misses, 0) << id;
     EXPECT_NEAR(result.idle_ms, 0.0, 1e-6) << id;
     // No frequency below 1.0 is feasible, so energy equals plain EDF's.
@@ -72,12 +72,11 @@ TEST(EdgeCases, IdenticalPeriodsBreakTiesDeterministically) {
 
 TEST(EdgeCases, HorizonShorterThanFirstPeriod) {
   TaskSet tasks({{"slow", 1000.0, 100.0, 0.0}});
-  auto policy = MakePolicy("la_edf");
   ConstantFractionModel model(1.0);
   SimOptions options;
   options.horizon_ms = 50.0;
   SimResult result =
-      RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+      RunSimulation(tasks, MachineSpec::Machine0(), "la_edf", model, options);
   EXPECT_EQ(result.releases, 1);
   EXPECT_EQ(result.completions, 0);
   EXPECT_EQ(result.deadline_misses, 0);
@@ -86,12 +85,11 @@ TEST(EdgeCases, HorizonShorterThanFirstPeriod) {
 
 TEST(EdgeCases, MicroscopicTasksDoNotUnderflow) {
   TaskSet tasks({{"tiny", 1.0, 1e-6, 0.0}, {"tiny2", 1.0, 1e-6, 0.0}});
-  auto policy = MakePolicy("cc_edf");
   ConstantFractionModel model(1.0);
   SimOptions options;
   options.horizon_ms = 100.0;
   SimResult result =
-      RunSimulation(tasks, MachineSpec::Machine0(), *policy, model, options);
+      RunSimulation(tasks, MachineSpec::Machine0(), "cc_edf", model, options);
   EXPECT_EQ(result.deadline_misses, 0);
   EXPECT_EQ(result.releases, 200);
   EXPECT_NEAR(result.total_work_executed, 200e-6, 1e-9);

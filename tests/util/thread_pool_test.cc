@@ -1,0 +1,97 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rtdvs {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskAndReturnsResultsBySubmissionSlot) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  // Futures pair results with submissions no matter which worker ran what.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerExecutesInFifoOrder) {
+  // The jobs=1 degenerate case: one worker drains the queue in submission
+  // order, so the observed sequence is exactly 0,1,2,...
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i, &order] { order.push_back(i); }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("shard failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "shard failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPool, FailedTaskDoesNotPoisonLaterTasks) {
+  ThreadPool pool(1);
+  auto bad = pool.Submit([] { throw std::runtime_error("boom"); });
+  auto after = pool.Submit([] { return 42; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(after.get(), 42);
+}
+
+TEST(ThreadPool, NonPositiveThreadCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++completed;
+      });
+    }
+    // Futures discarded: the destructor must still run everything queued.
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+}  // namespace
+}  // namespace rtdvs

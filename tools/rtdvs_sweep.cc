@@ -33,7 +33,13 @@ bool ParseUtilGrid(const std::string& spec, std::vector<double>* grid) {
       *lo > *hi) {
     return false;
   }
-  for (double u = *lo; u <= *hi + 1e-9; u += *step) {
+  // Generate by integer index: accumulating `u += step` compounds rounding
+  // error and can drop the final point (0.1:1.0:0.1 ended at 0.9).
+  for (int k = 0;; ++k) {
+    double u = *lo + static_cast<double>(k) * *step;
+    if (u > *hi + 1e-9) {
+      break;
+    }
     grid->push_back(std::min(u, 1.0));
   }
   return !grid->empty();
@@ -48,6 +54,7 @@ int Main(int argc, char** argv) {
   int64_t tasksets = 50;
   int64_t sim_ms = 5000;
   int64_t seed = 20010901;
+  int64_t jobs = 0;
   double idle_level = 0.0;
   bool normalized = true;
   bool uunifast = false;
@@ -63,11 +70,18 @@ int Main(int argc, char** argv) {
   flags.AddInt64("tasksets", &tasksets, "task sets per utilization point");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
   flags.AddInt64("seed", &seed, "master seed");
+  flags.AddInt64("jobs", &jobs,
+                 "sweep worker threads (0 = hardware concurrency); results "
+                 "are identical for every value");
   flags.AddDouble("idle-level", &idle_level, "halted-cycle energy ratio");
   flags.AddBool("normalized", &normalized, "normalize energies to plain EDF");
   flags.AddBool("uunifast", &uunifast, "use the UUniFast generator");
   flags.AddBool("misses", &misses, "also print the deadline-miss table");
   if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (jobs < 0) {
+    std::fprintf(stderr, "error: --jobs must be >= 0 (0 = hardware concurrency)\n");
     return 1;
   }
 
@@ -96,21 +110,24 @@ int Main(int argc, char** argv) {
   options.idle_level = idle_level;
   options.use_uunifast = uunifast;
   options.seed = static_cast<uint64_t>(seed);
+  options.jobs = static_cast<int>(jobs);
 
   UtilizationSweep sweep(options);
-  auto rows = sweep.Run();
+  SweepResult result = sweep.Run();
   std::cout << "machine: " << options.machine.ToString() << "\n"
             << "demand:  " << demand << "   tasks: " << num_tasks
             << "   sets/point: " << tasksets << "   horizon: " << sim_ms << " ms\n"
             << (normalized ? "energy normalized to plain EDF\n"
                            : "energy (arbitrary units per simulated second)\n");
-  TextTable table = sweep.ToTable(rows, normalized);
-  table.Print(std::cout);
-  table.PrintCsv(std::cout, "csv,sweep");
+  RenderEnergyTable(result, normalized).Print(std::cout);
+  WriteCsv(result, std::cout, "csv,sweep");
   if (misses) {
     std::cout << "deadline misses:\n";
-    sweep.MissTable(rows).Print(std::cout);
+    RenderMissTable(result).Print(std::cout);
   }
+  std::cout << StrFormat("elapsed: %.0f ms wall, %.0f ms cpu (jobs=%d)\n",
+                         result.elapsed_wall_ms, result.elapsed_cpu_ms,
+                         result.options.jobs);
   return 0;
 }
 
