@@ -6,18 +6,26 @@
 // interval of 41 us — implying the clock retargets almost immediately and
 // the halt is stabilization time. With the prototype's SGTC of 10 units,
 // voltage switches cost ~0.41 ms and frequency-only switches 41 us.
-// This bench replays those measurements against the register-level model.
+//
+// Part 1 replays those measurements against the register-level model.
+// Part 2 propagates them into the energy results: one utilization sweep per
+// transition cost (0 = ideal, 0.041 ms = frequency-only, 0.41 ms = voltage
+// change, 4.1 ms = a hypothetically slow regulator) on the shared parallel
+// sweep harness, which forwards switch_time_ms into every shard.
 #include <iostream>
 
+#include "bench/sweep_main.h"
+#include "src/core/sweep.h"
 #include "src/kernel/powernow_module.h"
 #include "src/platform/k6_cpu.h"
 #include "src/util/table.h"
 
-int main() {
-  using rtdvs::K6Cpu;
+namespace rtdvs {
+namespace {
 
+void ReplayRegisterModel() {
   std::cout << "TSC cycles across one minimum-SGTC (41 us) transition:\n";
-  rtdvs::TextTable tsc_table({"target MHz", "halt us", "TSC cycles", "paper"});
+  TextTable tsc_table({"target MHz", "halt us", "TSC cycles", "paper"});
   for (double target : {200.0, 550.0}) {
     K6Cpu cpu;  // starts at 550 MHz / 2.0 V
     // Park at the other end first so the write is a real transition.
@@ -30,8 +38,8 @@ int main() {
     cpu.WriteEpmr(t0, {fid, 1, 1});
     double t1 = cpu.transition_end_ms();
     uint64_t tsc_after = cpu.Tsc(t1);
-    tsc_table.AddRow({rtdvs::FormatDouble(target, 0),
-                      rtdvs::FormatDouble((t1 - t0) * 1000.0, 2),
+    tsc_table.AddRow({FormatDouble(target, 0),
+                      FormatDouble((t1 - t0) * 1000.0, 2),
                       std::to_string(tsc_after - tsc_before),
                       target == 200.0 ? "~8200" : "~22500"});
   }
@@ -39,23 +47,57 @@ int main() {
   tsc_table.PrintCsv(std::cout, "csv,sec41_tsc");
 
   std::cout << "\nSwitch overheads as programmed by the PowerNow module:\n";
-  rtdvs::TextTable sw({"transition", "SGTC units", "halt ms"});
+  TextTable sw({"transition", "SGTC units", "halt ms"});
   {
     K6Cpu cpu;
-    rtdvs::PowerNowModule module(&cpu, nullptr);
+    PowerNowModule module(&cpu, nullptr);
     // 550 MHz @2.0 V -> 400 MHz @1.4 V: voltage change.
     module.SetFrequencyMhz(0.0, 400.0);
-    sw.AddRow({"550->400 (V change)", std::to_string(rtdvs::PowerNowModule::kSgtcVoltageChange),
-               rtdvs::FormatDouble(cpu.transition_end_ms() - 0.0, 4)});
+    sw.AddRow({"550->400 (V change)",
+               std::to_string(PowerNowModule::kSgtcVoltageChange),
+               FormatDouble(cpu.transition_end_ms() - 0.0, 4)});
     // 400 -> 300 at the same 1.4 V: frequency-only.
     double t0 = 5.0;
     module.SetFrequencyMhz(t0, 300.0);
-    sw.AddRow({"400->300 (f only)", std::to_string(rtdvs::PowerNowModule::kSgtcFrequencyOnly),
-               rtdvs::FormatDouble(cpu.transition_end_ms() - t0, 4)});
+    sw.AddRow({"400->300 (f only)",
+               std::to_string(PowerNowModule::kSgtcFrequencyOnly),
+               FormatDouble(cpu.transition_end_ms() - t0, 4)});
   }
   sw.Print(std::cout);
   sw.PrintCsv(std::cout, "csv,sec41_switch");
   std::cout << "(paper: ~0.4 ms when voltage changes, 41 us when only the "
-               "frequency changes)\n";
-  return 0;
+               "frequency changes)\n\n";
 }
+
+int Main(int argc, char** argv) {
+  SweepBenchFlags flags;
+  if (!ParseSweepFlags(argc, argv,
+                       "Section 4.1: transition latency — register-model "
+                       "replay plus energy sweeps at each measured switch cost.",
+                       &flags)) {
+    return 1;
+  }
+
+  ReplayRegisterModel();
+
+  std::cout << "Energy impact of the mandatory transition halt "
+               "(k6 operating points, dynamic RT-DVS policies):\n\n";
+  int64_t audit_violations = 0;
+  for (double switch_ms : {0.0, 0.041, 0.41, 4.1}) {
+    SweepBenchConfig config;
+    config.title = StrFormat("switch halt = %.4g ms", switch_ms);
+    config.csv_tag = StrFormat("sec41_sw%.4g", switch_ms);
+    config.options.policy_ids = {"edf", "cc_edf", "cc_rm", "la_edf"};
+    config.options.machine = MachineSpec::K6TwoPointFour();
+    config.options.switch_time_ms = switch_ms;
+    config.options.utilizations = {0.2, 0.4, 0.6, 0.8};
+    ApplySweepFlags(flags, &config.options);
+    audit_violations += RunAndPrintSweep(config);
+  }
+  return audit_violations > 0 ? 3 : 0;
+}
+
+}  // namespace
+}  // namespace rtdvs
+
+int main(int argc, char** argv) { return rtdvs::Main(argc, argv); }

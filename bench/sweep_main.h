@@ -63,7 +63,10 @@ inline void ApplySweepFlags(const SweepBenchFlags& flags, SweepOptions* options)
   }
 }
 
-inline void RunAndPrintSweep(const SweepBenchConfig& config) {
+// Runs the sweep and prints the standard panel. Returns the number of
+// SimAudit violations (0 for a healthy build); benches that care can fold
+// it into their exit code.
+inline int64_t RunAndPrintSweep(const SweepBenchConfig& config) {
   UtilizationSweep sweep(config.options);
   SweepResult result = sweep.Run();
   std::cout << "== " << config.title << " ==\n";
@@ -81,9 +84,17 @@ inline void RunAndPrintSweep(const SweepBenchConfig& config) {
   } else {
     std::cout << "deadline misses: none under any policy\n";
   }
+  if (result.audit_violations > 0) {
+    std::cout << StrFormat("audit: %lld violation(s)\n",
+                           static_cast<long long>(result.audit_violations));
+    for (const auto& message : result.audit_messages) {
+      std::cout << "  " << message << "\n";
+    }
+  }
   std::cout << StrFormat("elapsed: %.0f ms wall, %.0f ms cpu (jobs=%d)\n\n",
                          result.elapsed_wall_ms, result.elapsed_cpu_ms,
                          result.options.jobs);
+  return result.audit_violations;
 }
 
 }  // namespace rtdvs

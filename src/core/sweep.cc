@@ -21,11 +21,16 @@ namespace {
 struct ShardOutcome {
   double edf_energy = 0;
   double lower_bound = 0;
+  // Violations from the EDF normalization baseline run (reported even when
+  // "edf" is not among the swept policy ids).
+  int64_t baseline_audit_violations = 0;
   struct PerPolicy {
     double energy = 0;
     int64_t deadline_misses = 0;
+    int64_t audit_violations = 0;
   };
   std::vector<PerPolicy> policies;  // parallel to options.policy_ids
+  std::vector<std::string> audit_messages;  // capped per shard
 };
 
 // Runs every policy on one generated task set. `set_rng` must be the fork
@@ -49,10 +54,28 @@ ShardOutcome RunShard(const SweepOptions& options, double utilization,
   SimOptions sim_options;
   sim_options.horizon_ms = options.horizon_ms;
   sim_options.idle_level = options.idle_level;
+  sim_options.switch_time_ms = options.switch_time_ms;
+  sim_options.miss_policy = options.miss_policy;
+  sim_options.energy_coefficient = options.energy_coefficient;
+  sim_options.audit = options.audit;
   sim_options.seed = workload_seed;
 
   ShardOutcome outcome;
   outcome.policies.resize(options.policy_ids.size());
+  auto record_audit = [&outcome, utilization](const SimResult& result,
+                                              int64_t* counter) {
+    *counter += static_cast<int64_t>(result.audit.violations.size());
+    constexpr size_t kMaxMessagesPerShard = 4;
+    for (const auto& violation : result.audit.violations) {
+      if (outcome.audit_messages.size() >= kMaxMessagesPerShard) {
+        break;
+      }
+      outcome.audit_messages.push_back(
+          StrFormat("[%s] u=%.2f %s: %s", AuditCheckName(violation.check),
+                    utilization, result.policy_name.c_str(),
+                    violation.message.c_str()));
+    }
+  };
 
   // Baseline first: plain EDF energy for normalization, and the bound.
   auto edf = MakePolicy("edf");
@@ -73,6 +96,16 @@ ShardOutcome RunShard(const SweepOptions& options, double utilization,
     }
     outcome.policies[p].energy = result.total_energy();
     outcome.policies[p].deadline_misses = result.deadline_misses;
+    record_audit(result, &outcome.policies[p].audit_violations);
+  }
+  // The baseline's own violations, unless they were already counted via an
+  // "edf" entry in the policy list.
+  bool edf_in_list = false;
+  for (const auto& id : options.policy_ids) {
+    edf_in_list |= id == "edf";
+  }
+  if (!edf_in_list) {
+    record_audit(edf_result, &outcome.baseline_audit_violations);
   }
   return outcome;
 }
@@ -182,6 +215,14 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
       if (outcome.edf_energy > 0) {
         row.normalized_bound.Add(outcome.lower_bound / outcome.edf_energy);
       }
+      result.audit_violations += outcome.baseline_audit_violations;
+      constexpr size_t kMaxMessages = 10;
+      for (const auto& message : outcome.audit_messages) {
+        if (result.audit_messages.size() >= kMaxMessages) {
+          break;
+        }
+        result.audit_messages.push_back(message);
+      }
       for (size_t p = 0; p < options_.policy_ids.size(); ++p) {
         PolicyCell& cell = row.cells[p];
         cell.energy.Add(outcome.policies[p].energy);
@@ -193,6 +234,8 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
         if (outcome.policies[p].deadline_misses > 0) {
           ++cell.tasksets_with_misses;
         }
+        cell.audit_violations += outcome.policies[p].audit_violations;
+        result.audit_violations += outcome.policies[p].audit_violations;
       }
     }
     result.rows.push_back(std::move(row));

@@ -47,6 +47,14 @@ struct SweepOptions {
   int tasksets_per_point = 50;
   double horizon_ms = 5000.0;
   double idle_level = 0.0;
+  // Per-shard SimOptions pass-through (§4.1-style transition-latency sweeps
+  // and firm-deadline ablations run on this same parallel harness).
+  double switch_time_ms = 0.0;
+  MissPolicy miss_policy = MissPolicy::kContinueLate;
+  double energy_coefficient = 1.0;
+  // Run SimAudit in every shard; violations are aggregated into
+  // SweepResult::audit_violations (never aborting mid-sweep).
+  bool audit = true;
   MachineSpec machine = MachineSpec::Machine0();
   // Fresh execution-time model per run (models may keep no cross-run
   // state). Invoked concurrently from worker threads, so the factory must
@@ -68,6 +76,7 @@ struct PolicyCell {
   RunningStats normalized_energy;  // ratio to plain EDF on the same workload
   int64_t deadline_misses = 0;
   int64_t tasksets_with_misses = 0;
+  int64_t audit_violations = 0;    // SimAudit violations across this cell
 };
 
 struct SweepRow {
@@ -86,6 +95,11 @@ struct SweepResult {
                                // filled in, jobs echoed as actually used)
   double elapsed_wall_ms = 0;  // wall-clock time of Run()
   double elapsed_cpu_ms = 0;   // process CPU time of Run(), all threads
+  // SimAudit violations over every simulation in the sweep (including the
+  // EDF normalization baseline), with a capped sample of messages. Zero is
+  // the only acceptable value for a healthy build.
+  int64_t audit_violations = 0;
+  std::vector<std::string> audit_messages;  // first few, for diagnostics
 };
 
 class UtilizationSweep {

@@ -33,6 +33,8 @@ class IntervalPolicy : public DvsPolicy {
   // Paired with EDF so that any deadline misses are attributable to the
   // frequency choice, not to priority inversion.
   SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
+  // Knows nothing about deadlines — misses are expected, not audit failures.
+  bool guarantees_deadlines() const override { return false; }
 
   void OnStart(const PolicyContext& ctx, SpeedController& speed) override;
   std::optional<double> NextWakeupMs(const PolicyContext& ctx) override;

@@ -84,6 +84,12 @@ class DvsPolicy {
   // (§3.2: "the dynamic algorithms switch to the lowest frequency and
   // voltage during idle, while the static ones do not").
   virtual bool lowers_speed_when_idle() const { return false; }
+  // True when the policy preserves its scheduler's deadline guarantee on
+  // any task set the scheduler's admission test accepts (all the paper's
+  // RT-DVS policies). Interval-based and statistical policies return false:
+  // they knowingly trade deadline risk for energy. The SimAudit RT oracle
+  // keys off this metadata.
+  virtual bool guarantees_deadlines() const { return true; }
 
   // Called once before the first release, and again whenever the task set
   // changes (dynamic task admission/removal, §4.3). Must (re)build any

@@ -40,6 +40,9 @@ class StatEdfPolicy : public DvsPolicy {
   std::string name() const override;
   SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
   bool lowers_speed_when_idle() const override { return true; }
+  // Soft real-time by design: accepts a bounded miss risk below the 100th
+  // percentile, so the audit's RT oracle must not treat misses as bugs.
+  bool guarantees_deadlines() const override { return false; }
 
   void OnStart(const PolicyContext& ctx, SpeedController& speed) override;
   void OnTaskRelease(int task_id, const PolicyContext& ctx,

@@ -1,0 +1,89 @@
+// SimAudit: post-run invariant auditor for simulation results.
+//
+// Every number the repo reports — golden ratios, figure sweeps, the
+// transition-latency study — is an integral over trace segments, so a single
+// accounting slip (time charged to the wrong bucket, a stale invocation
+// view) silently corrupts whole figures while point tests still pass. The
+// auditor re-derives each reported total from an independent source and
+// flags any disagreement:
+//
+//   time partition   busy_ms + idle_ms + switching_ms == horizon_ms
+//   residency        per-point exec/idle sums == the global totals,
+//                    in both milliseconds and energy units
+//   trace            segments are contiguous, monotone, non-overlapping,
+//                    and re-integrate to the reported times and energies
+//                    (skipped — not failed — when the trace is truncated
+//                    or was not recorded)
+//   job accounting   releases == completions + aborted + in-flight,
+//                    globally and per task; per-task stats sum to globals
+//   RT guarantee     a deadline-guaranteeing policy on a task set its
+//                    schedulability test admits must report zero misses
+//                    (skipped when switch_time_ms > 0 or a WCET overrun
+//                    was injected — both void the analytical guarantee)
+//   lower bound      lower_bound_energy <= exec_energy (§3.2: the bound
+//                    is over execution energy with idle assumed free)
+//
+// Violations are collected into a structured AuditReport rather than
+// aborting, so a sweep shard can self-check without killing the sweep.
+#ifndef SRC_SIM_AUDIT_H_
+#define SRC_SIM_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+namespace rtdvs {
+
+class MachineSpec;
+class TaskSet;
+struct SimOptions;
+struct SimResult;
+
+// One invariant class per enumerator; fault-injection tests corrupt a
+// result per class and assert the matching check fires.
+enum class AuditCheck {
+  kTimePartition,
+  kResidency,
+  kTrace,
+  kJobAccounting,
+  kRtGuarantee,
+  kLowerBound,
+};
+
+const char* AuditCheckName(AuditCheck check);
+
+struct AuditViolation {
+  AuditCheck check = AuditCheck::kTimePartition;
+  std::string message;
+};
+
+struct AuditReport {
+  // False until AuditSimResult ran (results from audit-off runs).
+  bool audited = false;
+  int checks_run = 0;
+  // Checks that could not apply (no trace, truncated trace, no guarantee).
+  int checks_skipped = 0;
+  std::vector<AuditViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  bool Violated(AuditCheck check) const;
+  // "audit: OK (6 checks, 1 skipped)" or one line per violation.
+  std::string Summary() const;
+};
+
+// Everything the auditor needs beyond the result itself. All pointers must
+// outlive the call; `tasks` is the set as simulated (server task included).
+struct AuditInputs {
+  const TaskSet* tasks = nullptr;
+  const MachineSpec* machine = nullptr;
+  const SimOptions* options = nullptr;
+  // DvsPolicy::guarantees_deadlines() of the policy that produced `result`.
+  bool policy_guarantees_deadlines = false;
+};
+
+// Runs every applicable check against `result`. Pure function of its
+// arguments; never aborts (violations are data, not bugs in the caller).
+AuditReport AuditSimResult(const SimResult& result, const AuditInputs& inputs);
+
+}  // namespace rtdvs
+
+#endif  // SRC_SIM_AUDIT_H_

@@ -9,6 +9,7 @@
 #include "src/cpu/operating_point.h"
 #include "src/rt/aperiodic.h"
 #include "src/rt/scheduler.h"
+#include "src/sim/audit.h"
 #include "src/sim/trace.h"
 
 namespace rtdvs {
@@ -18,6 +19,10 @@ struct TaskStats {
   int64_t releases = 0;
   int64_t completions = 0;
   int64_t deadline_misses = 0;
+  // Jobs abandoned at their deadline under MissPolicy::kAbortJob.
+  int64_t aborted = 0;
+  // Jobs still in flight when the horizon cut the run.
+  int64_t unfinished = 0;
   double executed_work = 0;
   double max_response_ms = 0;
   double total_response_ms = 0;  // over completed invocations
@@ -53,6 +58,14 @@ struct SimResult {
   int64_t releases = 0;
   int64_t completions = 0;
   int64_t deadline_misses = 0;
+  // Conservation counters: every released job is eventually completed,
+  // aborted (MissPolicy::kAbortJob), or still in flight at the horizon.
+  int64_t aborted = 0;
+  int64_t unfinished_at_horizon = 0;
+  // Invocations whose drawn actual work exceeded the task's WCET (only
+  // possible with overrun-permitting exec models, e.g. ColdStartModel with
+  // allow_overrun); voids the schedulability guarantee for the run.
+  int64_t wcet_overruns = 0;
   int64_t speed_switches = 0;
   int64_t preemptions = 0;
 
@@ -66,6 +79,9 @@ struct SimResult {
   // Aperiodic server outcome (valid when server_task_id >= 0).
   int server_task_id = -1;
   AperiodicStats aperiodic;
+
+  // SimAudit outcome; audit.audited is false when SimOptions::audit was off.
+  AuditReport audit;
 
   // Short single-line summary for logs and examples.
   std::string Summary() const;

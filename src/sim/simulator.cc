@@ -164,6 +164,11 @@ void Simulator::ReleaseDueJobs(double now, std::vector<int>* released) {
         aperiodic_->Replenish();
       }
       RTDVS_CHECK_GT(fraction, 0.0);
+      if (fraction > 1.0 + kWorkEps) {
+        // Overrun-permitting models (ColdStartModel) void the guarantee;
+        // the audit's RT oracle keys off this counter.
+        ++result_.wcet_overruns;
+      }
       Job job;
       job.task_id = id;
       job.invocation = state.next_invocation;
@@ -200,13 +205,21 @@ void Simulator::BuildContext(double now) {
     view.last_actual_work = state.last_actual_work;
   }
   // Earliest unfinished job per task defines the "current invocation".
+  // Track the chosen job's release explicitly: comparing a candidate's
+  // release against the chosen DEADLINE happens to work for strictly
+  // periodic jobs (deadline = release + period) but resolves wrongly for
+  // backlogged tasks under MissPolicy::kContinueLate and for CBS
+  // replacement jobs, whose release/deadline ordering differs.
+  chosen_release_.assign(static_cast<size_t>(tasks_.size()), kInf);
   for (const auto& job : jobs_) {
     if (job.finished) {
       continue;
     }
     auto& view = ctx_.views[static_cast<size_t>(job.task_id)];
-    if (!view.has_active_job || job.release_ms < view.next_deadline_ms) {
+    double& chosen = chosen_release_[static_cast<size_t>(job.task_id)];
+    if (!view.has_active_job || job.release_ms < chosen) {
       view.has_active_job = true;
+      chosen = job.release_ms;
       view.next_deadline_ms = job.deadline_ms;
       view.executed_in_invocation = job.executed_work;
       view.worst_case_remaining = job.RemainingWorstCaseWork();
@@ -341,7 +354,19 @@ SimResult Simulator::Run() {
         }
       }
     } else {
-      double idle_dt = t_next - now_;
+      // The mandatory halt applies on the idle path too: an OnIdle (or
+      // completion-time) speed change with switch_time_ms > 0 halts the
+      // processor just as it does before execution resumes. Charge the halt
+      // window to switching_ms — not idle energy at the new point.
+      double halt_end = std::clamp(speed_->blocked_until_, now_, t_next);
+      double switch_dt = halt_end - now_;
+      if (switch_dt > 0) {
+        result_.switching_ms += switch_dt;
+        if (options_.record_trace) {
+          result_.trace.AddSegment({now_, halt_end, CpuState::kSwitching, -1, point});
+        }
+      }
+      double idle_dt = t_next - halt_end;
       if (idle_dt > 0) {
         result_.idle_ms += idle_dt;
         double joules = energy_.IdleEnergy(idle_dt, point);
@@ -350,7 +375,7 @@ SimResult Simulator::Run() {
         res.idle_ms += idle_dt;
         res.idle_energy += joules;
         if (options_.record_trace) {
-          result_.trace.AddSegment({now_, t_next, CpuState::kIdle, -1, point});
+          result_.trace.AddSegment({halt_end, t_next, CpuState::kIdle, -1, point});
         }
       }
     }
@@ -446,6 +471,8 @@ SimResult Simulator::Run() {
           job.finished = true;
           job.completion_ms = now_;
           // Aborted jobs do not count as completions and record no response.
+          ++result_.aborted;
+          ++result_.task_stats[static_cast<size_t>(job.task_id)].aborted;
         }
       }
     }
@@ -506,9 +533,23 @@ SimResult Simulator::Run() {
       result_.total_work_executed, options_.horizon_ms, machine_,
       EnergyModel(0.0, options_.energy_coefficient));
   result_.server_task_id = server_task_id_;
+  for (const auto& job : jobs_) {
+    if (!job.finished) {
+      ++result_.unfinished_at_horizon;
+      ++result_.task_stats[static_cast<size_t>(job.task_id)].unfinished;
+    }
+  }
   if (aperiodic_.has_value()) {
     aperiodic_->FinalizeStats();
     result_.aperiodic = aperiodic_->stats();
+  }
+  if (options_.audit) {
+    AuditInputs inputs;
+    inputs.tasks = &tasks_;
+    inputs.machine = &machine_;
+    inputs.options = &options_;
+    inputs.policy_guarantees_deadlines = policy_->guarantees_deadlines();
+    result_.audit = AuditSimResult(result_, inputs);
   }
   return result_;
 }

@@ -46,6 +46,10 @@ struct SimOptions {
   double switch_time_ms = 0.0;
   bool record_trace = false;
   size_t max_trace_segments = 1u << 20;
+  // Run SimAudit over the finished result (SimResult::audit). On by default
+  // so every test and every sweep shard self-checks; violations are
+  // reported in the result, never aborted on (see src/sim/audit.h).
+  bool audit = true;
   // Seed for the execution-time model's randomness.
   uint64_t seed = 1;
   // Optional aperiodic server (footnote 1 of the paper): when kind is not
@@ -105,6 +109,9 @@ class Simulator {
 
   std::vector<TaskState> task_states_;
   std::vector<Job> jobs_;
+  // Release time of each task's chosen "current invocation"; scratch for
+  // BuildContext (member to avoid per-event allocation).
+  std::vector<double> chosen_release_;
   PolicyContext ctx_;
   SimResult result_;
   std::unique_ptr<Speed> speed_;

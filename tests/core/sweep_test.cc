@@ -166,6 +166,55 @@ TEST(UtilizationSweep, WriteCsvEmitsOneLinePerPolicyPlusBound) {
   EXPECT_NE(text.find("csv,tag,0.5,bound,"), std::string::npos);
 }
 
+// Regression: SweepOptions used to silently drop switch_time_ms,
+// miss_policy and energy_coefficient instead of forwarding them into each
+// shard's SimOptions — a §4.1 transition-cost sweep ran at zero cost.
+TEST(UtilizationSweep, ForwardsSimOptionsIntoShards) {
+  SweepOptions baseline = SmallOptions();
+  baseline.utilizations = {0.7};
+  baseline.policy_ids = {"edf", "cc_edf"};
+  SweepResult ideal = UtilizationSweep(baseline).Run();
+
+  SweepOptions with_cost = baseline;
+  with_cost.switch_time_ms = 2.0;
+  SweepResult costly = UtilizationSweep(with_cost).Run();
+  // ccEDF switches speeds constantly: a 2 ms halt per switch must change
+  // its energy; plain EDF never switches, so it is unaffected.
+  EXPECT_EQ(ideal.rows[0].cells[0].energy.mean(),
+            costly.rows[0].cells[0].energy.mean());
+  EXPECT_NE(ideal.rows[0].cells[1].energy.mean(),
+            costly.rows[0].cells[1].energy.mean());
+
+  SweepOptions scaled = baseline;
+  scaled.energy_coefficient = 3.0;
+  SweepResult tripled = UtilizationSweep(scaled).Run();
+  // Energy is linear in the coefficient, workload generation is untouched.
+  EXPECT_NEAR(tripled.rows[0].cells[0].energy.mean(),
+              3.0 * ideal.rows[0].cells[0].energy.mean(),
+              1e-9 * ideal.rows[0].cells[0].energy.mean());
+
+  SweepOptions firm = baseline;
+  firm.utilizations = {1.0};
+  firm.policy_ids = {"static_rm"};  // RM at U=1.0: misses are certain
+  firm.miss_policy = MissPolicy::kAbortJob;
+  SweepResult aborting = UtilizationSweep(firm).Run();
+  EXPECT_GT(aborting.rows[0].cells[0].deadline_misses, 0);
+  EXPECT_EQ(aborting.audit_violations, 0);
+}
+
+TEST(UtilizationSweep, AuditRunsInEveryShardByDefault) {
+  SweepOptions options = SmallOptions();
+  ASSERT_TRUE(options.audit);
+  SweepResult result = UtilizationSweep(options).Run();
+  EXPECT_EQ(result.audit_violations, 0);
+  EXPECT_TRUE(result.audit_messages.empty());
+  for (const auto& row : result.rows) {
+    for (const auto& cell : row.cells) {
+      EXPECT_EQ(cell.audit_violations, 0);
+    }
+  }
+}
+
 TEST(UtilizationSweep, UUniFastGeneratorAlsoWorks) {
   SweepOptions options = SmallOptions();
   options.use_uunifast = true;

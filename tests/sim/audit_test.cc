@@ -1,0 +1,264 @@
+#include "src/sim/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sweep.h"
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/policy.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+namespace {
+
+// Fixture holding everything AuditSimResult needs alive: the auditor takes
+// pointers into the task set / machine / options that produced the result.
+struct AuditedRun {
+  TaskSet tasks;
+  MachineSpec machine = MachineSpec::Machine0();
+  SimOptions options;
+  SimResult result;
+  bool guarantees = true;
+
+  AuditInputs Inputs() const {
+    AuditInputs inputs;
+    inputs.tasks = &tasks;
+    inputs.machine = &machine;
+    inputs.options = &options;
+    inputs.policy_guarantees_deadlines = guarantees;
+    return inputs;
+  }
+
+  AuditReport Reaudit(const SimResult& corrupted) const {
+    return AuditSimResult(corrupted, Inputs());
+  }
+};
+
+AuditedRun RunPaperExample(const std::string& policy_id = "cc_edf") {
+  AuditedRun run;
+  run.tasks = TaskSet::PaperExample();
+  run.options.horizon_ms = 500.0;
+  run.options.idle_level = 0.3;
+  run.options.record_trace = true;
+  auto policy = MakePolicy(policy_id);
+  run.guarantees = policy->guarantees_deadlines();
+  UniformFractionModel model(0.2, 1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  return run;
+}
+
+TEST(SimAudit, CleanRunPassesEveryCheck) {
+  AuditedRun run = RunPaperExample();
+  const AuditReport& report = run.result.audit;
+  ASSERT_TRUE(report.audited);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  // All six invariant classes apply: trace recorded and complete, cc_edf
+  // guarantees deadlines, and the paper example is EDF-schedulable.
+  EXPECT_EQ(report.checks_run, 6);
+  EXPECT_EQ(report.checks_skipped, 0);
+  EXPECT_EQ(report.Summary(), "audit: OK (6 checks, 0 skipped)");
+}
+
+TEST(SimAudit, AuditOffLeavesReportUnaudited) {
+  AuditedRun run;
+  run.tasks = TaskSet::PaperExample();
+  run.options.horizon_ms = 200.0;
+  run.options.audit = false;
+  auto policy = MakePolicy("edf");
+  ConstantFractionModel model(1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  EXPECT_FALSE(run.result.audit.audited);
+  EXPECT_EQ(run.result.audit.Summary(), "audit: not run");
+}
+
+// --- Fault injection: corrupt one quantity per invariant class and assert
+// the matching check (and only the expected checks) fires. ---
+
+TEST(SimAuditFaultInjection, TimePartitionLeak) {
+  AuditedRun run = RunPaperExample();
+  SimResult corrupted = run.result;
+  corrupted.idle_ms += 5.0;  // 5 ms of wall time charged twice
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.Violated(AuditCheck::kTimePartition)) << report.Summary();
+}
+
+TEST(SimAuditFaultInjection, ResidencyDrift) {
+  AuditedRun run = RunPaperExample();
+  SimResult corrupted = run.result;
+  ASSERT_FALSE(corrupted.residency.empty());
+  corrupted.residency[0].exec_ms += 3.0;
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_TRUE(report.Violated(AuditCheck::kResidency)) << report.Summary();
+  // The global buckets still partition the horizon.
+  EXPECT_FALSE(report.Violated(AuditCheck::kTimePartition));
+}
+
+TEST(SimAuditFaultInjection, TraceBeyondHorizon) {
+  AuditedRun run = RunPaperExample();
+  SimResult corrupted = run.result;
+  ASSERT_FALSE(corrupted.trace.segments().empty());
+  // A phantom segment past the horizon: the span check and the idle-time
+  // re-integration both disagree with the reported totals.
+  corrupted.trace.AddSegment({corrupted.horizon_ms, corrupted.horizon_ms + 1.0,
+                              CpuState::kIdle, -1,
+                              run.machine.points().front()});
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_TRUE(report.Violated(AuditCheck::kTrace)) << report.Summary();
+}
+
+TEST(SimAuditFaultInjection, TraceEnergyMismatch) {
+  AuditedRun run = RunPaperExample();
+  SimResult corrupted = run.result;
+  corrupted.exec_energy *= 1.01;  // totals no longer re-integrate
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_TRUE(report.Violated(AuditCheck::kTrace)) << report.Summary();
+  EXPECT_TRUE(report.Violated(AuditCheck::kResidency));
+}
+
+TEST(SimAuditFaultInjection, LostJob) {
+  AuditedRun run = RunPaperExample();
+  SimResult corrupted = run.result;
+  ASSERT_GT(corrupted.completions, 0);
+  corrupted.completions -= 1;  // a job vanished from the books
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_TRUE(report.Violated(AuditCheck::kJobAccounting)) << report.Summary();
+}
+
+TEST(SimAuditFaultInjection, PerTaskCountersOutOfSync) {
+  AuditedRun run = RunPaperExample();
+  SimResult corrupted = run.result;
+  ASSERT_FALSE(corrupted.task_stats.empty());
+  corrupted.task_stats[0].releases += 1;
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_TRUE(report.Violated(AuditCheck::kJobAccounting)) << report.Summary();
+}
+
+TEST(SimAuditFaultInjection, MissUnderGuaranteeingPolicy) {
+  AuditedRun run = RunPaperExample("edf");
+  ASSERT_TRUE(run.guarantees);
+  SimResult corrupted = run.result;
+  // Keep per-task and global in sync so only the RT oracle disagrees.
+  corrupted.deadline_misses += 1;
+  corrupted.task_stats[0].deadline_misses += 1;
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_TRUE(report.Violated(AuditCheck::kRtGuarantee)) << report.Summary();
+  EXPECT_FALSE(report.Violated(AuditCheck::kJobAccounting));
+}
+
+TEST(SimAuditFaultInjection, LowerBoundAboveActual) {
+  AuditedRun run = RunPaperExample();
+  SimResult corrupted = run.result;
+  corrupted.lower_bound_energy = corrupted.exec_energy + 1.0;
+  AuditReport report = run.Reaudit(corrupted);
+  EXPECT_TRUE(report.Violated(AuditCheck::kLowerBound)) << report.Summary();
+}
+
+// --- Downgrade-to-skip semantics. ---
+
+TEST(SimAudit, TruncatedTraceSkipsTraceCheckInsteadOfFailing) {
+  AuditedRun run;
+  run.tasks = TaskSet::PaperExample();
+  run.options.horizon_ms = 500.0;
+  run.options.record_trace = true;
+  run.options.max_trace_segments = 4;  // far fewer than the run produces
+  auto policy = MakePolicy("cc_edf");
+  UniformFractionModel model(0.2, 1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  ASSERT_TRUE(run.result.trace.truncated());
+  const AuditReport& report = run.result.audit;
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.checks_run, 5);
+  EXPECT_EQ(report.checks_skipped, 1);
+}
+
+TEST(SimAudit, SwitchCostSkipsRtOracleButStillAuditsAccounting) {
+  AuditedRun run;
+  run.tasks = TaskSet::PaperExample();
+  run.options.horizon_ms = 500.0;
+  run.options.switch_time_ms = 0.5;  // halts void the analytical guarantee
+  auto policy = MakePolicy("cc_edf");
+  ConstantFractionModel model(1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  const AuditReport& report = run.result.audit;
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  // Trace (not recorded) and RT oracle (switch cost) are both skipped.
+  EXPECT_EQ(report.checks_skipped, 2);
+  EXPECT_EQ(report.checks_run, 4);
+}
+
+TEST(SimAudit, NonGuaranteeingPolicyMissesAreNotViolations) {
+  // The interval baseline knowingly trades deadlines for energy; misses
+  // under it are a finding of the paper, not an accounting bug.
+  AuditedRun run;
+  run.tasks = TaskSet({{"a", 10.0, 4.5, 0.0}, {"b", 15.0, 6.0, 0.0}});
+  run.options.horizon_ms = 1000.0;
+  auto policy = MakePolicy("interval");
+  run.guarantees = policy->guarantees_deadlines();
+  EXPECT_FALSE(run.guarantees);
+  ConstantFractionModel model(1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  EXPECT_TRUE(run.result.audit.ok()) << run.result.audit.Summary();
+}
+
+TEST(SimAudit, AbortPolicyRunStaysConserved) {
+  // Overload + kAbortJob exercises the aborted-jobs leg of the conservation
+  // law: releases == completions + aborted + in-flight must still hold.
+  AuditedRun run;
+  run.tasks = TaskSet({{"a", 10.0, 8.0, 0.0}, {"b", 10.0, 7.0, 0.0}});
+  run.options.horizon_ms = 500.0;
+  run.options.miss_policy = MissPolicy::kAbortJob;
+  run.options.record_trace = true;
+  auto policy = MakePolicy("edf");
+  run.guarantees = false;  // deliberately overloaded
+  ConstantFractionModel model(1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  EXPECT_GT(run.result.aborted, 0);
+  EXPECT_TRUE(run.result.audit.ok()) << run.result.audit.Summary();
+}
+
+// --- Acceptance sweep: the full paper policy set stays audit-clean on every
+// simulator machine model, across the quick utilization grid, including the
+// §4.1 switch-cost and firm-deadline configurations. ---
+
+TEST(SimAuditAcceptance, PaperPoliciesAuditCleanOnAllMachines) {
+  const MachineSpec machines[] = {MachineSpec::Machine0(),
+                                  MachineSpec::Machine1(),
+                                  MachineSpec::Machine2()};
+  for (const auto& machine : machines) {
+    SweepOptions options;
+    options.policy_ids = AllPaperPolicyIds();
+    options.utilizations = {0.3, 0.6, 0.9};
+    options.tasksets_per_point = 4;
+    options.horizon_ms = 500.0;
+    options.idle_level = 0.1;
+    options.machine = machine;
+    options.exec_model_factory = [] {
+      return std::make_unique<UniformFractionModel>(0.0, 1.0);
+    };
+    SweepResult result = UtilizationSweep(options).Run();
+    EXPECT_EQ(result.audit_violations, 0)
+        << machine.ToString() << ": "
+        << (result.audit_messages.empty() ? "" : result.audit_messages[0]);
+  }
+}
+
+TEST(SimAuditAcceptance, SwitchCostAndAbortConfigurationsAuditClean) {
+  SweepOptions options;
+  options.policy_ids = {"edf", "cc_edf", "la_edf"};
+  options.utilizations = {0.4, 0.8};
+  options.tasksets_per_point = 3;
+  options.horizon_ms = 500.0;
+  options.switch_time_ms = 0.41;  // §4.1 voltage-transition halt
+  options.miss_policy = MissPolicy::kAbortJob;
+  options.energy_coefficient = 2.5;
+  SweepResult result = UtilizationSweep(options).Run();
+  EXPECT_EQ(result.audit_violations, 0)
+      << (result.audit_messages.empty() ? "" : result.audit_messages[0]);
+}
+
+}  // namespace
+}  // namespace rtdvs

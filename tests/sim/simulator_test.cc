@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/dvs/no_dvs_policy.h"
 #include "src/dvs/policy.h"
@@ -181,6 +186,103 @@ TEST(Simulator, TraceSegmentsAreContiguousAndOrdered) {
     EXPECT_NEAR(segments[i].start_ms, segments[i - 1].end_ms, 1e-6);
   }
   EXPECT_NEAR(segments.back().end_ms, 200.0, 1e-6);
+}
+
+// Runs at max speed, drops to the lowest point whenever the processor
+// idles — the cheapest way to force an operating-point change on BOTH the
+// wake-up (release) path and the idle path every period.
+class MaxRunMinIdlePolicy : public DvsPolicy {
+ public:
+  std::string name() const override { return "max-run-min-idle"; }
+  SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
+  void OnStart(const PolicyContext& ctx, SpeedController& speed) override {
+    speed.SetOperatingPoint(ctx.machine->max_point());
+  }
+  void OnTaskRelease(int, const PolicyContext& ctx,
+                     SpeedController& speed) override {
+    speed.SetOperatingPoint(ctx.machine->max_point());
+  }
+  void OnIdle(const PolicyContext& ctx, SpeedController& speed) override {
+    speed.SetOperatingPoint(ctx.machine->min_point());
+  }
+};
+
+TEST(Simulator, SwitchHaltOnIdlePathChargesSwitchingNotIdle) {
+  // Regression: the mandatory halt used to be honored only when a job was
+  // about to run; a speed change going INTO idle was silently charged as
+  // idle time and idle energy at the new point. C=2, P=10, horizon 100,
+  // 1 ms halt: the first period has only the idle-path switch (the release
+  // at t=0 finds the speed already at max), the other nine have both.
+  TaskSet tasks({{"solo", 10.0, 2.0, 0.0}});
+  MaxRunMinIdlePolicy policy;
+  ConstantFractionModel model(1.0);
+  SimOptions options = Opts(100.0, 0.5);
+  options.switch_time_ms = 1.0;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, options);
+  EXPECT_NEAR(result.busy_ms, 20.0, 1e-9);
+  EXPECT_NEAR(result.switching_ms, 19.0, 1e-9);  // 10 idle-path + 9 release
+  EXPECT_NEAR(result.idle_ms, 61.0, 1e-9);
+  // All execution at (f=1, V=5), all idling at (f=0.5, V=3).
+  EXPECT_NEAR(result.exec_energy, 20.0 * 25.0, 1e-9);
+  EXPECT_NEAR(result.idle_energy, 61.0 * 0.5 * 9.0 * 0.5, 1e-9);
+  // The halt into the first idle period is a kSwitching segment, not idle.
+  const auto& segments = result.trace.segments();
+  auto at_2ms = std::find_if(segments.begin(), segments.end(),
+                             [](const TraceSegment& seg) {
+                               return std::abs(seg.start_ms - 2.0) < 1e-9;
+                             });
+  ASSERT_NE(at_2ms, segments.end());
+  EXPECT_EQ(at_2ms->state, CpuState::kSwitching);
+  EXPECT_NEAR(at_2ms->end_ms, 3.0, 1e-9);
+  ASSERT_TRUE(result.audit.audited);
+  EXPECT_TRUE(result.audit.ok()) << result.audit.Summary();
+}
+
+// Records the task-0 runtime view at every release callback.
+class ViewProbePolicy : public DvsPolicy {
+ public:
+  std::string name() const override { return "view-probe"; }
+  SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
+  bool guarantees_deadlines() const override { return false; }
+  void OnStart(const PolicyContext& ctx, SpeedController& speed) override {
+    speed.SetOperatingPoint(ctx.machine->max_point());
+  }
+  void OnTaskRelease(int, const PolicyContext& ctx, SpeedController&) override {
+    at_release.push_back({ctx.now_ms, ctx.view(0)});
+  }
+  std::vector<std::pair<double, TaskRuntimeView>> at_release;
+};
+
+TEST(Simulator, BuildContextPicksEarliestReleaseWithBackloggedJobs) {
+  // Regression: the "current invocation" used to be chosen by comparing a
+  // candidate's release against the chosen job's DEADLINE, which only
+  // works when deadline = release + period holds for every in-flight job.
+  // Force two jobs of one task in flight (§4.3 cold start overrunning the
+  // WCET under kContinueLate) and check the policy still observes the
+  // EARLIEST invocation: its deadline, its executed work.
+  TaskSet tasks({{"cold", 10.0, 8.0, 0.0}});
+  ViewProbePolicy policy;
+  // First invocation consumes 1.5 * C = 12 ms > P: still running when the
+  // second is released.
+  ColdStartModel model(std::make_unique<ConstantFractionModel>(1.0), 1.5,
+                       /*allow_overrun=*/true);
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), policy, model, Opts(30.0));
+  EXPECT_EQ(result.wcet_overruns, 1);
+  ASSERT_GE(policy.at_release.size(), 2u);
+  // t=10: the overrunning job 0 (released 0, deadline 10, 10 ms executed)
+  // is still the current invocation, not the fresh job 1 (deadline 20).
+  EXPECT_NEAR(policy.at_release[1].first, 10.0, 1e-9);
+  const TaskRuntimeView& view = policy.at_release[1].second;
+  EXPECT_TRUE(view.has_active_job);
+  EXPECT_NEAR(view.next_deadline_ms, 10.0, 1e-9);
+  EXPECT_NEAR(view.executed_in_invocation, 10.0, 1e-9);
+  EXPECT_NEAR(view.worst_case_remaining, 0.0, 1e-9);  // past its WCET budget
+  // Conservation holds across the backlog; the RT oracle is skipped (the
+  // overrun voids the guarantee), so the audit stays green.
+  ASSERT_TRUE(result.audit.audited);
+  EXPECT_TRUE(result.audit.ok()) << result.audit.Summary();
 }
 
 TEST(SimulatorDeathTest, RejectsEmptyTaskSetAndDoubleRun) {

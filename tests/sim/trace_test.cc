@@ -40,6 +40,54 @@ TEST(Trace, CapacityLimitSetsTruncatedFlag) {
   EXPECT_EQ(trace.segments().size(), 2u);
 }
 
+TEST(Trace, MergeDoesNotConsumeCapacity) {
+  // A contiguous identical segment extends the last entry in place, so it
+  // must never trip the capacity limit.
+  Trace trace;
+  trace.set_capacity_limit(1);
+  trace.AddSegment({0, 1, CpuState::kExecuting, 0, P(1, 5)});
+  trace.AddSegment({1, 2, CpuState::kExecuting, 0, P(1, 5)});
+  trace.AddSegment({2, 3, CpuState::kExecuting, 0, P(1, 5)});
+  EXPECT_FALSE(trace.truncated());
+  ASSERT_EQ(trace.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.segments()[0].end_ms, 3.0);
+}
+
+TEST(Trace, TruncationIsPermanent) {
+  // Once truncated, nothing is recorded any more — not even a segment that
+  // would have merged into the last one — so the kept prefix stays an
+  // honest prefix of the run rather than a prefix with holes.
+  Trace trace;
+  trace.set_capacity_limit(1);
+  trace.AddSegment({0, 1, CpuState::kExecuting, 0, P(1, 5)});
+  trace.AddSegment({1, 2, CpuState::kIdle, -1, P(1, 5)});  // over capacity
+  EXPECT_TRUE(trace.truncated());
+  trace.AddSegment({1, 3, CpuState::kExecuting, 0, P(1, 5)});
+  ASSERT_EQ(trace.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.segments()[0].end_ms, 1.0);
+}
+
+TEST(Trace, CapacityLimitAppliesToEventsToo) {
+  Trace trace;
+  trace.set_capacity_limit(2);
+  trace.AddEvent({0.0, TraceEventKind::kRelease, 0, {}});
+  trace.AddEvent({1.0, TraceEventKind::kCompletion, 0, {}});
+  EXPECT_FALSE(trace.truncated());
+  trace.AddEvent({2.0, TraceEventKind::kRelease, 0, {}});
+  EXPECT_TRUE(trace.truncated());
+  EXPECT_EQ(trace.events().size(), 2u);
+}
+
+TEST(Trace, NearContiguousSegmentsWithinEpsilonMerge) {
+  // Event times accumulate rounding; AddSegment treats boundaries within
+  // the global time epsilon as contiguous.
+  Trace trace;
+  trace.AddSegment({0, 1, CpuState::kExecuting, 0, P(1, 5)});
+  trace.AddSegment({1 + 1e-12, 2, CpuState::kExecuting, 0, P(1, 5)});
+  ASSERT_EQ(trace.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.segments()[0].end_ms, 2.0);
+}
+
 TEST(Trace, GanttRendersRowsPerTask) {
   TaskSet tasks = TaskSet::PaperExample();
   Trace trace;

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# CI driver: plain build + full test suite, then the same suite under
+# ASan/UBSan, then the concurrency tests (thread pool, parallel sweep
+# harness, bench smokes) under TSan.
+#
+#   tools/ci.sh              # all stages
+#   tools/ci.sh plain        # one stage: plain | asan-ubsan | tsan
+#
+# Each stage builds into its own tree (build-ci-<stage>) so sanitizer flags
+# never leak between configurations. ctest labels: tier1 = fast unit suites,
+# tier2 = property/stress/sweep suites and bench smokes, threads = anything
+# that exercises the thread pool.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+configure_and_build() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "$dir" -j "$(nproc)"
+}
+
+run_ctest() {
+  local dir="$1"
+  shift
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" "$@")
+}
+
+stage_plain() {
+  echo "=== stage: plain build, full test suite ==="
+  configure_and_build build-ci-plain
+  run_ctest build-ci-plain
+}
+
+stage_asan_ubsan() {
+  echo "=== stage: ASan+UBSan build, full test suite ==="
+  configure_and_build build-ci-asan -DRTDVS_SANITIZE=address,undefined
+  # halt_on_error keeps a leak from being buried mid-log; detect_leaks stays
+  # on to catch trace/result buffers that escape the simulator.
+  ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    run_ctest build-ci-asan
+}
+
+stage_tsan() {
+  echo "=== stage: TSan build, concurrency tests ==="
+  configure_and_build build-ci-tsan -DRTDVS_SANITIZE=thread
+  TSAN_OPTIONS=halt_on_error=1 run_ctest build-ci-tsan -L threads
+}
+
+STAGE="${1:-all}"
+case "$STAGE" in
+  plain) stage_plain ;;
+  asan-ubsan) stage_asan_ubsan ;;
+  tsan) stage_tsan ;;
+  all)
+    stage_plain
+    stage_asan_ubsan
+    stage_tsan
+    ;;
+  *)
+    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|all]" >&2
+    exit 1
+    ;;
+esac
+echo "=== ci: all requested stages passed ==="

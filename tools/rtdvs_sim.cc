@@ -22,6 +22,9 @@ namespace {
 
 void PrintResult(const SimResult& result, const Scenario& scenario, double gantt_ms) {
   std::printf("%s\n", result.Summary().c_str());
+  if (result.audit.audited) {
+    std::printf("  %s\n", result.audit.Summary().c_str());
+  }
   if (result.server_task_id >= 0) {
     std::printf(
         "  aperiodic: %lld arrivals, %lld served, mean response %.2f ms, "
@@ -58,6 +61,7 @@ int Main(int argc, char** argv) {
   double gantt_ms = 0.0;
   double switch_time_ms = 0.0;
   bool abort_on_miss = false;
+  bool audit = true;
   int64_t seed = 1;
 
   FlagSet flags("rtdvs_sim: run a scenario file through the RT-DVS simulator.");
@@ -71,6 +75,9 @@ int Main(int argc, char** argv) {
   flags.AddDouble("gantt", &gantt_ms, "render an ASCII trace of the first N ms");
   flags.AddDouble("switch-ms", &switch_time_ms, "halt per operating-point change (ms)");
   flags.AddBool("abort-on-miss", &abort_on_miss, "drop tardy jobs at their deadlines");
+  flags.AddBool("audit", &audit,
+                "run SimAudit on each result (--no-audit disables); audit "
+                "violations make the exit code 3");
   flags.AddInt64("seed", &seed, "workload random seed");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -107,6 +114,7 @@ int Main(int argc, char** argv) {
   options.miss_policy =
       abort_on_miss ? MissPolicy::kAbortJob : MissPolicy::kContinueLate;
   options.record_trace = gantt_ms > 0;
+  options.audit = audit;
   options.seed = static_cast<uint64_t>(seed);
   options.aperiodic = scenario.server;
 
@@ -121,6 +129,9 @@ int Main(int argc, char** argv) {
     PrintResult(result, scenario, gantt_ms);
     if (result.deadline_misses > 0 && id != "interval" && id != "stat_edf") {
       exit_code = 2;  // hard policies missing deadlines is reportable
+    }
+    if (result.audit.audited && !result.audit.ok()) {
+      exit_code = 3;  // accounting invariant violations trump everything
     }
   }
   return exit_code;

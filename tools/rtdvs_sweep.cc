@@ -56,9 +56,12 @@ int Main(int argc, char** argv) {
   int64_t seed = 20010901;
   int64_t jobs = 0;
   double idle_level = 0.0;
+  double switch_time_ms = 0.0;
+  bool abort_on_miss = false;
   bool normalized = true;
   bool uunifast = false;
   bool misses = false;
+  bool audit = true;
 
   FlagSet flags("rtdvs-sweep: custom energy-vs-utilization sweeps.");
   flags.AddString("policies", &policies, "comma-separated policy ids");
@@ -74,9 +77,15 @@ int Main(int argc, char** argv) {
                  "sweep worker threads (0 = hardware concurrency); results "
                  "are identical for every value");
   flags.AddDouble("idle-level", &idle_level, "halted-cycle energy ratio");
+  flags.AddDouble("switch-ms", &switch_time_ms,
+                  "halt per operating-point change (ms), §4.1 transition cost");
+  flags.AddBool("abort-on-miss", &abort_on_miss, "drop tardy jobs at their deadlines");
   flags.AddBool("normalized", &normalized, "normalize energies to plain EDF");
   flags.AddBool("uunifast", &uunifast, "use the UUniFast generator");
   flags.AddBool("misses", &misses, "also print the deadline-miss table");
+  flags.AddBool("audit", &audit,
+                "run SimAudit in every shard (--no-audit disables); audit "
+                "violations make the exit code 3");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -108,9 +117,13 @@ int Main(int argc, char** argv) {
   options.tasksets_per_point = static_cast<int>(tasksets);
   options.horizon_ms = static_cast<double>(sim_ms);
   options.idle_level = idle_level;
+  options.switch_time_ms = switch_time_ms;
+  options.miss_policy =
+      abort_on_miss ? MissPolicy::kAbortJob : MissPolicy::kContinueLate;
   options.use_uunifast = uunifast;
   options.seed = static_cast<uint64_t>(seed);
   options.jobs = static_cast<int>(jobs);
+  options.audit = audit;
 
   UtilizationSweep sweep(options);
   SweepResult result = sweep.Run();
@@ -125,10 +138,21 @@ int Main(int argc, char** argv) {
     std::cout << "deadline misses:\n";
     RenderMissTable(result).Print(std::cout);
   }
+  if (audit) {
+    if (result.audit_violations == 0) {
+      std::cout << "audit: OK (every shard self-checked)\n";
+    } else {
+      std::cout << StrFormat("audit: %lld violation(s)\n",
+                             static_cast<long long>(result.audit_violations));
+      for (const auto& message : result.audit_messages) {
+        std::cout << "  " << message << "\n";
+      }
+    }
+  }
   std::cout << StrFormat("elapsed: %.0f ms wall, %.0f ms cpu (jobs=%d)\n",
                          result.elapsed_wall_ms, result.elapsed_cpu_ms,
                          result.options.jobs);
-  return 0;
+  return result.audit_violations > 0 ? 3 : 0;
 }
 
 }  // namespace
