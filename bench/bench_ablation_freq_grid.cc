@@ -6,6 +6,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "src/core/sweep.h"
 #include "src/util/flags.h"
 #include "src/util/strings.h"
@@ -18,13 +19,22 @@ int Main(int argc, char** argv) {
   int64_t sim_ms = 4000;
   int64_t jobs = 0;
   double utilization = 0.65;
+  bool quick = false;
+  std::string json_path;
   FlagSet flags("Ablation: frequency-grid density vs energy (extends Fig 11).");
   flags.AddInt64("tasksets", &tasksets, "random task sets per grid size");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
   flags.AddInt64("jobs", &jobs, "sweep worker threads (0 = hardware concurrency)");
   flags.AddDouble("utilization", &utilization, "worst-case utilization");
+  flags.AddBool("quick", &quick, "smoke-test configuration (4 sets, 1 s horizon)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (quick) {
+    tasksets = 4;
+    sim_ms = 1000;
   }
 
   const std::vector<std::string> policy_ids = {"static_edf", "cc_edf", "cc_rm",
@@ -65,7 +75,13 @@ int Main(int argc, char** argv) {
             << ", uniform actual demand, EDF-normalized energy) ==\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "csv,ablation_grid");
-  return 0;
+
+  BenchJson json("ablation_freq_grid");
+  json.Config("tasksets", tasksets);
+  json.Config("sim_ms", sim_ms);
+  json.Config("utilization", utilization);
+  json.AddTable("Frequency-grid density vs normalized energy", table);
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "src/core/sweep.h"
 #include "src/util/flags.h"
 #include "src/util/strings.h"
@@ -18,13 +19,22 @@ int Main(int argc, char** argv) {
   int64_t tasksets = 30;
   int64_t sim_ms = 5000;
   int64_t jobs = 0;
+  bool quick = false;
+  std::string json_path;
   FlagSet flags("Ablation (§2.2): interval-based DVS vs RT-DVS — energy and "
                 "deadline misses under bursty load.");
   flags.AddInt64("tasksets", &tasksets, "random task sets per utilization point");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
   flags.AddInt64("jobs", &jobs, "sweep worker threads (0 = hardware concurrency)");
+  flags.AddBool("quick", &quick, "smoke-test configuration (4 sets, 1 s horizon)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (quick) {
+    tasksets = 4;
+    sim_ms = 1000;
   }
 
   SweepOptions options;
@@ -51,7 +61,13 @@ int Main(int argc, char** argv) {
   TextTable misses = RenderMissTable(result);
   misses.Print(std::cout);
   misses.PrintCsv(std::cout, "csv,ablation_interval_misses");
-  return 0;
+
+  BenchJson json("ablation_interval_dvs");
+  json.Config("tasksets", tasksets);
+  json.Config("sim_ms", sim_ms);
+  json.Add("Interval DVS vs RT-DVS (bursty workload)", "sweep",
+           SweepResultToJson(result));
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "src/core/sweep.h"
 #include "src/util/flags.h"
 
@@ -16,13 +17,22 @@ int Main(int argc, char** argv) {
   int64_t tasksets = 40;
   int64_t sim_ms = 4000;
   int64_t jobs = 0;
+  bool quick = false;
+  std::string json_path;
   FlagSet flags("Ablation: sufficient vs exact RM schedulability test in "
                 "static voltage scaling.");
   flags.AddInt64("tasksets", &tasksets, "random task sets per point");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
   flags.AddInt64("jobs", &jobs, "sweep worker threads (0 = hardware concurrency)");
+  flags.AddBool("quick", &quick, "smoke-test configuration (4 sets, 1 s horizon)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (quick) {
+    tasksets = 4;
+    sim_ms = 1000;
   }
 
   SweepOptions options;
@@ -47,7 +57,13 @@ int Main(int argc, char** argv) {
   std::cout << "deadline misses (must be zero everywhere — the exact test is "
                "still a guarantee):\n";
   RenderMissTable(result).Print(std::cout);
-  return 0;
+
+  BenchJson json("ablation_rm_exact");
+  json.Config("tasksets", tasksets);
+  json.Config("sim_ms", sim_ms);
+  json.Add("Static RM scaling: sufficient vs exact test", "sweep",
+           SweepResultToJson(result));
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }
 
 }  // namespace

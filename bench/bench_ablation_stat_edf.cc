@@ -9,6 +9,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "src/dvs/stat_edf_policy.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/taskset_generator.h"
@@ -25,13 +26,22 @@ int Main(int argc, char** argv) {
   int64_t tasksets = 30;
   int64_t sim_ms = 8000;
   double utilization = 0.8;
+  bool quick = false;
+  std::string json_path;
   FlagSet flags("Extension (§6): energy vs deadline-miss-rate tradeoff of "
                 "percentile-budgeted statEDF.");
   flags.AddInt64("tasksets", &tasksets, "random task sets");
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
   flags.AddDouble("utilization", &utilization, "worst-case utilization");
+  flags.AddBool("quick", &quick, "smoke-test configuration (4 sets, 1 s horizon)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (quick) {
+    tasksets = 4;
+    sim_ms = 1000;
   }
 
   TaskSetGeneratorOptions gen_options;
@@ -110,7 +120,13 @@ int Main(int argc, char** argv) {
   table.PrintCsv(std::cout, "csv,ablation_stat_edf");
   std::cout << "(p100 with a warm history ~ ccEDF; lower percentiles trade a "
                "bounded miss rate for energy)\n";
-  return 0;
+
+  BenchJson json("ablation_stat_edf");
+  json.Config("tasksets", tasksets);
+  json.Config("sim_ms", sim_ms);
+  json.Config("utilization", utilization);
+  json.AddTable("statEDF percentile sweep", table);
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "src/kernel/kernel.h"
 #include "src/rt/taskset_generator.h"
 #include "src/util/flags.h"
@@ -90,11 +91,19 @@ Outcome RunScenarios(bool defer, int64_t count, uint64_t seed) {
 
 int Main(int argc, char** argv) {
   int64_t scenarios = 200;
+  bool quick = false;
+  std::string json_path;
   FlagSet flags("Ablation (§4.3): transient deadline misses on dynamic task "
                 "admission, with and without deferred first release.");
   flags.AddInt64("scenarios", &scenarios, "random join scenarios per mode");
+  flags.AddBool("quick", &quick, "smoke-test configuration (20 scenarios)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (quick) {
+    scenarios = 20;
   }
 
   TextTable table({"first release", "scenarios", "scenarios w/ miss", "total misses"});
@@ -110,7 +119,11 @@ int Main(int argc, char** argv) {
   table.PrintCsv(std::cout, "csv,ablation_admission");
   std::cout << "(the deferred row must show zero misses; the immediate row "
                "shows the transient the paper warns about)\n";
-  return 0;
+
+  BenchJson json("ablation_task_admission");
+  json.Config("scenarios", scenarios);
+  json.AddTable("Dynamic task admission under laEDF", table);
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
                               &flags)) {
     return 1;
   }
+  rtdvs::BenchJson json("fig09_num_tasks");
+  rtdvs::RecordSweepFlags(flags, &json);
   for (int num_tasks : {5, 10, 15}) {
     rtdvs::SweepBenchConfig config;
     config.title = rtdvs::StrFormat("Figure 9: %d tasks", num_tasks);
@@ -23,7 +25,7 @@ int main(int argc, char** argv) {
       return std::make_unique<rtdvs::ConstantFractionModel>(1.0);
     };
     rtdvs::ApplySweepFlags(flags, &config.options);
-    rtdvs::RunAndPrintSweep(config);
+    rtdvs::RunAndPrintSweep(config, &json);
   }
-  return 0;
+  return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
                               &flags)) {
     return 1;
   }
+  rtdvs::BenchJson json("fig10_idle_level");
+  rtdvs::RecordSweepFlags(flags, &json);
   for (double idle_level : {0.01, 0.1, 1.0}) {
     rtdvs::SweepBenchConfig config;
     config.title = rtdvs::StrFormat("Figure 10: 8 tasks, idle level %.2f", idle_level);
@@ -23,7 +25,7 @@ int main(int argc, char** argv) {
       return std::make_unique<rtdvs::ConstantFractionModel>(1.0);
     };
     rtdvs::ApplySweepFlags(flags, &config.options);
-    rtdvs::RunAndPrintSweep(config);
+    rtdvs::RunAndPrintSweep(config, &json);
   }
-  return 0;
+  return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
                               &flags)) {
     return 1;
   }
+  rtdvs::BenchJson json("fig11_machines");
+  rtdvs::RecordSweepFlags(flags, &json);
   const rtdvs::MachineSpec machines[] = {rtdvs::MachineSpec::Machine0(),
                                          rtdvs::MachineSpec::Machine1(),
                                          rtdvs::MachineSpec::Machine2()};
@@ -25,7 +27,7 @@ int main(int argc, char** argv) {
       return std::make_unique<rtdvs::ConstantFractionModel>(1.0);
     };
     rtdvs::ApplySweepFlags(flags, &config.options);
-    rtdvs::RunAndPrintSweep(config);
+    rtdvs::RunAndPrintSweep(config, &json);
   }
-  return 0;
+  return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

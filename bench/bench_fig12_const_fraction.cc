@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
                               &flags)) {
     return 1;
   }
+  rtdvs::BenchJson json("fig12_const_fraction");
+  rtdvs::RecordSweepFlags(flags, &json);
   for (double fraction : {0.9, 0.7, 0.5}) {
     rtdvs::SweepBenchConfig config;
     config.title = rtdvs::StrFormat("Figure 12: 8 tasks, c = %.1f", fraction);
@@ -22,7 +24,7 @@ int main(int argc, char** argv) {
       return std::make_unique<rtdvs::ConstantFractionModel>(fraction);
     };
     rtdvs::ApplySweepFlags(flags, &config.options);
-    rtdvs::RunAndPrintSweep(config);
+    rtdvs::RunAndPrintSweep(config, &json);
   }
-  return 0;
+  return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
                               &flags)) {
     return 1;
   }
+  rtdvs::BenchJson json("fig13_uniform");
+  rtdvs::RecordSweepFlags(flags, &json);
   rtdvs::SweepBenchConfig config;
   config.title = "Figure 13: 8 tasks, uniform c in (0, 1]";
   config.csv_tag = "fig13_uniform";
@@ -21,7 +23,7 @@ int main(int argc, char** argv) {
     return std::make_unique<rtdvs::UniformFractionModel>(0.0, 1.0);
   };
   rtdvs::ApplySweepFlags(flags, &config.options);
-  rtdvs::RunAndPrintSweep(config);
+  rtdvs::RunAndPrintSweep(config, &json);
 
   // Side-by-side comparison the paper draws in the text: constant 0.5.
   rtdvs::SweepBenchConfig constant;
@@ -32,6 +34,6 @@ int main(int argc, char** argv) {
     return std::make_unique<rtdvs::ConstantFractionModel>(0.5);
   };
   rtdvs::ApplySweepFlags(flags, &constant.options);
-  rtdvs::RunAndPrintSweep(constant);
-  return 0;
+  rtdvs::RunAndPrintSweep(constant, &json);
+  return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_json.h"
 #include "src/kernel/kernel.h"
 #include "src/rt/taskset_generator.h"
 #include "src/util/flags.h"
@@ -27,13 +28,22 @@ int Main(int argc, char** argv) {
   int64_t tasksets = 10;
   int64_t sim_ms = 15000;  // the oscilloscope averaged over 15-30 s
   double fraction = 0.9;
+  bool quick = false;
+  std::string json_path;
   FlagSet flags("Reproduces Figure 16: measured system power vs utilization "
                 "on the K6-2+ platform substrate.");
   flags.AddInt64("tasksets", &tasksets, "random task sets per utilization point");
   flags.AddInt64("sim-ms", &sim_ms, "measurement duration (ms)");
   flags.AddDouble("c", &fraction, "actual fraction of worst case consumed");
+  flags.AddBool("quick", &quick, "smoke-test configuration (2 sets, 1 s horizon)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (quick) {
+    tasksets = 2;
+    sim_ms = 1000;
   }
 
   const std::vector<std::string> policy_ids = {"edf", "static_rm", "cc_edf", "la_edf"};
@@ -95,7 +105,13 @@ int Main(int argc, char** argv) {
   std::cout << "(misses column: transition halts are not charged to WCET in "
                "this sweep; the paper budgets them into C_i — see "
                "EXPERIMENTS.md)\n";
-  return 0;
+
+  BenchJson json("fig16_platform_power");
+  json.Config("tasksets", tasksets);
+  json.Config("sim_ms", sim_ms);
+  json.Config("c", fraction);
+  json.AddTable("Figure 16: system watts vs utilization", table);
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }
 
 }  // namespace

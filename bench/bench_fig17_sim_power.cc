@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
                               &flags)) {
     return 1;
   }
+  rtdvs::BenchJson json("fig17_sim_power");
+  rtdvs::RecordSweepFlags(flags, &json);
   rtdvs::SweepBenchConfig config;
   config.title = "Figure 17: simulated platform, 5 tasks, c = 0.9";
   config.csv_tag = "fig17";
@@ -29,6 +31,6 @@ int main(int argc, char** argv) {
   };
   config.options.seed = 0xf17;
   rtdvs::ApplySweepFlags(flags, &config.options);
-  rtdvs::RunAndPrintSweep(config);
-  return 0;
+  rtdvs::RunAndPrintSweep(config, &json);
+  return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

@@ -1,0 +1,83 @@
+// Shared accumulator for the benches' machine-readable output.
+//
+// Every bench binary accepts --json=<path> and mirrors its stdout report
+// into one rtdvs-bench-v1 document: a "config" object recording the flags
+// the run used, plus one section per printed panel. Sections carry a
+// "sweep" (full SweepResult), a "table" (the printed TextTable), or a
+// "values" object (loose named numbers). tools/rtdvs-json-check validates
+// this shape in CI, and the files are uploaded as build artifacts so runs
+// can be diffed without scraping ASCII tables.
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "src/util/json.h"
+#include "src/util/table.h"
+
+namespace rtdvs {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : name_(std::move(bench_name)),
+        config_(JsonValue::Object()),
+        sections_(JsonValue::Array()) {}
+
+  // Records one flag/parameter of the run, e.g. Config("tasksets", 50).
+  void Config(const std::string& key, JsonValue value) {
+    config_.Set(key, std::move(value));
+  }
+
+  // Appends a section whose payload sits under `kind` ("sweep", "table" or
+  // "values"); sections keep print order so the JSON reads like the report.
+  void Add(const std::string& title, const std::string& kind, JsonValue payload) {
+    JsonValue section = JsonValue::Object();
+    section.Set("title", title);
+    section.Set(kind, std::move(payload));
+    sections_.Append(std::move(section));
+  }
+
+  void AddTable(const std::string& title, const TextTable& table) {
+    Add(title, "table", table.ToJson());
+  }
+
+  void AddValues(const std::string& title, JsonValue values) {
+    Add(title, "values", std::move(values));
+  }
+
+  JsonValue Document() const {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema", "rtdvs-bench-v1");
+    doc.Set("bench", name_);
+    doc.Set("config", config_);
+    doc.Set("sections", sections_);
+    return doc;
+  }
+
+  // Writes the document when a path was requested. Returns false (after
+  // printing the reason) only on an I/O failure, so callers can fold it
+  // straight into their exit code.
+  bool WriteIfRequested(const std::string& path) const {
+    if (path.empty()) {
+      return true;
+    }
+    if (!WriteJsonFile(Document(), path)) {
+      std::fprintf(stderr, "error: cannot write JSON to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("json written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  JsonValue config_;
+  JsonValue sections_;
+};
+
+}  // namespace rtdvs
+
+#endif  // BENCH_BENCH_JSON_H_

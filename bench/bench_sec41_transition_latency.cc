@@ -23,7 +23,7 @@
 namespace rtdvs {
 namespace {
 
-void ReplayRegisterModel() {
+void ReplayRegisterModel(BenchJson* json) {
   std::cout << "TSC cycles across one minimum-SGTC (41 us) transition:\n";
   TextTable tsc_table({"target MHz", "halt us", "TSC cycles", "paper"});
   for (double target : {200.0, 550.0}) {
@@ -45,6 +45,7 @@ void ReplayRegisterModel() {
   }
   tsc_table.Print(std::cout);
   tsc_table.PrintCsv(std::cout, "csv,sec41_tsc");
+  json->AddTable("TSC cycles across one minimum-SGTC transition", tsc_table);
 
   std::cout << "\nSwitch overheads as programmed by the PowerNow module:\n";
   TextTable sw({"transition", "SGTC units", "halt ms"});
@@ -65,6 +66,7 @@ void ReplayRegisterModel() {
   }
   sw.Print(std::cout);
   sw.PrintCsv(std::cout, "csv,sec41_switch");
+  json->AddTable("PowerNow switch overheads", sw);
   std::cout << "(paper: ~0.4 ms when voltage changes, 41 us when only the "
                "frequency changes)\n\n";
 }
@@ -78,7 +80,9 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  ReplayRegisterModel();
+  BenchJson json("sec41_transition_latency");
+  RecordSweepFlags(flags, &json);
+  ReplayRegisterModel(&json);
 
   std::cout << "Energy impact of the mandatory transition halt "
                "(k6 operating points, dynamic RT-DVS policies):\n\n";
@@ -92,7 +96,10 @@ int Main(int argc, char** argv) {
     config.options.switch_time_ms = switch_ms;
     config.options.utilizations = {0.2, 0.4, 0.6, 0.8};
     ApplySweepFlags(flags, &config.options);
-    audit_violations += RunAndPrintSweep(config);
+    audit_violations += RunAndPrintSweep(config, &json);
+  }
+  if (!json.WriteIfRequested(flags.json_path)) {
+    return 1;
   }
   return audit_violations > 0 ? 3 : 0;
 }

@@ -5,12 +5,25 @@
 // reproduction of Table 1 plus the derived per-operating-point system
 // power, which feeds Figure 16.
 #include <iostream>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "src/platform/k6_cpu.h"
 #include "src/platform/system_power.h"
+#include "src/util/flags.h"
 #include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  rtdvs::FlagSet flags("Reproduces Table 1: the calibrated system power model.");
+  flags.AddBool("quick", &quick, "smoke-test configuration (no-op: already fast)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
   rtdvs::SystemPowerModel model;
   std::cout << "Table 1 (model reproduction):\n" << model.Table1() << "\n";
 
@@ -25,5 +38,9 @@ int main() {
   }
   table.Print(std::cout);
   table.PrintCsv(std::cout, "csv,table1");
-  return 0;
+
+  rtdvs::BenchJson json("table1_platform_power");
+  json.Config("screen_on", false);
+  json.AddTable("Derived system power per K6-2+ operating point", table);
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }

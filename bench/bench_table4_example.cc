@@ -14,7 +14,10 @@
 #include "src/rt/task.h"
 #include "src/sim/simulator.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 #include "src/util/table.h"
+
+#include "bench/bench_json.h"
 
 namespace rtdvs {
 namespace {
@@ -28,16 +31,28 @@ std::unique_ptr<ExecTimeModel> Table3Model() {
 
 int Main(int argc, char** argv) {
   bool show_traces = true;
+  bool quick = false;
+  std::string json_path;
   FlagSet flags("Reproduces Table 4 (and the example traces of Figures 2/3/5/7).");
   flags.AddBool("traces", &show_traces, "print per-policy ASCII execution traces");
+  flags.AddBool("quick", &quick, "smoke-test configuration (implies --no-traces)");
+  flags.AddString("json", &json_path,
+                  "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (quick) {
+    show_traces = false;
   }
 
   TaskSet tasks = TaskSet::PaperExample();
   std::cout << "Task set (Table 2): " << tasks.ToString() << "\n";
   std::cout << "Machine: " << MachineSpec::Machine0().ToString() << "\n\n";
 
+  BenchJson json("table4_example");
+  json.Config("horizon_ms", 16.0);
+  json.Config("machine", MachineSpec::Machine0().name());
+  JsonValue energies = JsonValue::Object();
   TextTable table({"RT-DVS method", "energy", "normalized"});
   double edf_energy = 0;
   for (const auto& id : AllPaperPolicyIds()) {
@@ -53,6 +68,7 @@ int Main(int argc, char** argv) {
     }
     table.AddRow({result.policy_name, FormatDouble(result.total_energy(), 2),
                   FormatDouble(result.total_energy() / edf_energy, 2)});
+    energies.Set(id, result.total_energy());
     if (show_traces) {
       std::cout << "--- " << result.policy_name << " (first 16 ms) ---\n"
                 << result.trace.RenderGantt(tasks, 64, 16.0) << "\n";
@@ -61,7 +77,9 @@ int Main(int argc, char** argv) {
   std::cout << "Table 4: normalized energy consumption for the example traces\n";
   table.Print(std::cout);
   table.PrintCsv(std::cout, "csv,table4");
-  return 0;
+  json.AddTable("Table 4: normalized energy for the worked example", table);
+  json.AddValues("absolute energy per policy", std::move(energies));
+  return json.WriteIfRequested(json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/core/sweep.h"
 #include "src/util/flags.h"
 #include "src/util/strings.h"
@@ -29,6 +30,8 @@ struct SweepBenchFlags {
   int64_t sim_ms = 5000;
   int64_t jobs = 0;    // worker threads; 0 = hardware concurrency
   bool quick = false;  // 10 task sets, coarse grid: CI-friendly smoke run
+  bool progress = false;  // live shard progress on stderr
+  std::string json_path;  // "" = no machine-readable output
 };
 
 // Parses common flags; returns false if the program should exit.
@@ -42,6 +45,10 @@ inline bool ParseSweepFlags(int argc, char** argv, const std::string& descriptio
                     "sweep worker threads (0 = hardware concurrency); results "
                     "are identical for every value");
   flag_set.AddBool("quick", &flags->quick, "coarse smoke-test configuration");
+  flag_set.AddBool("progress", &flags->progress,
+                   "live progress line on stderr (shards done, elapsed, ETA)");
+  flag_set.AddString("json", &flags->json_path,
+                     "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flag_set.Parse(argc, argv)) {
     return false;
   }
@@ -61,12 +68,25 @@ inline void ApplySweepFlags(const SweepBenchFlags& flags, SweepOptions* options)
     options->horizon_ms = 1000.0;
     options->utilizations = {0.1, 0.3, 0.5, 0.7, 0.9};
   }
+  if (flags.progress) {
+    options->progress = MakeStderrProgress();
+  }
 }
 
-// Runs the sweep and prints the standard panel. Returns the number of
-// SimAudit violations (0 for a healthy build); benches that care can fold
-// it into their exit code.
-inline int64_t RunAndPrintSweep(const SweepBenchConfig& config) {
+// Records the shared flags in the bench's JSON config object.
+inline void RecordSweepFlags(const SweepBenchFlags& flags, BenchJson* json) {
+  json->Config("tasksets", flags.tasksets);
+  json->Config("sim_ms", flags.sim_ms);
+  json->Config("jobs", flags.jobs);
+  json->Config("quick", flags.quick);
+}
+
+// Runs the sweep and prints the standard panel; when `json` is non-null the
+// full SweepResult (rows, counters, profile) is appended as a section.
+// Returns the number of SimAudit violations (0 for a healthy build);
+// benches that care can fold it into their exit code.
+inline int64_t RunAndPrintSweep(const SweepBenchConfig& config,
+                                BenchJson* json = nullptr) {
   UtilizationSweep sweep(config.options);
   SweepResult result = sweep.Run();
   std::cout << "== " << config.title << " ==\n";
@@ -94,6 +114,9 @@ inline int64_t RunAndPrintSweep(const SweepBenchConfig& config) {
   std::cout << StrFormat("elapsed: %.0f ms wall, %.0f ms cpu (jobs=%d)\n\n",
                          result.elapsed_wall_ms, result.elapsed_cpu_ms,
                          result.options.jobs);
+  if (json != nullptr) {
+    json->Add(config.title, "sweep", SweepResultToJson(result));
+  }
   return result.audit_violations;
 }
 

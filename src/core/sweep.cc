@@ -1,12 +1,18 @@
 #include "src/core/sweep.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <ctime>
 #include <future>
+#include <memory>
 #include <utility>
+
+#include <mutex>
 
 #include "src/dvs/policy.h"
 #include "src/util/check.h"
+#include "src/util/json.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 
@@ -28,6 +34,7 @@ struct ShardOutcome {
     double energy = 0;
     int64_t deadline_misses = 0;
     int64_t audit_violations = 0;
+    PolicyCounters counters;
   };
   std::vector<PerPolicy> policies;  // parallel to options.policy_ids
   std::vector<std::string> audit_messages;  // capped per shard
@@ -96,6 +103,7 @@ ShardOutcome RunShard(const SweepOptions& options, double utilization,
     }
     outcome.policies[p].energy = result.total_energy();
     outcome.policies[p].deadline_misses = result.deadline_misses;
+    outcome.policies[p].counters = result.policy_counters;
     record_audit(result, &outcome.policies[p].audit_violations);
   }
   // The baseline's own violations, unless they were already counted via an
@@ -123,6 +131,41 @@ std::vector<std::string> PolicyHeader(const SweepResult& result,
 }
 
 }  // namespace
+
+std::function<void(int64_t, int64_t)> MakeStderrProgress() {
+  struct State {
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point last_print = start;
+    bool printed = false;
+  };
+  auto state = std::make_shared<State>();
+  // Already serialized by the sweep's internal mutex (see
+  // SweepOptions::progress), so plain shared state is fine.
+  return [state](int64_t done, int64_t total) {
+    const auto now = std::chrono::steady_clock::now();
+    using Sec = std::chrono::duration<double>;
+    const bool final = done >= total;
+    if (!final && state->printed &&
+        Sec(now - state->last_print).count() < 0.2) {
+      return;
+    }
+    state->last_print = now;
+    state->printed = true;
+    const double elapsed = Sec(now - state->start).count();
+    const double eta =
+        done > 0 ? elapsed / static_cast<double>(done) *
+                       static_cast<double>(total - done)
+                 : 0.0;
+    std::fprintf(stderr, "\rsweep: %lld/%lld shards (%d%%)  elapsed %.1fs  eta %.1fs ",
+                 static_cast<long long>(done), static_cast<long long>(total),
+                 static_cast<int>(100 * done / std::max<int64_t>(total, 1)),
+                 elapsed, eta);
+    if (final) {
+      std::fprintf(stderr, "\n");
+    }
+  };
+}
 
 std::vector<double> DefaultUtilizationGrid() {
   std::vector<double> grid;
@@ -161,6 +204,14 @@ SweepResult UtilizationSweep::Run() const {
           .count();
   result.elapsed_cpu_ms = (std::clock() - cpu_start) * 1000.0 /
                           static_cast<double>(CLOCKS_PER_SEC);
+  if (result.elapsed_wall_ms > 0) {
+    result.profile.shards_per_sec =
+        static_cast<double>(result.profile.shards) / result.elapsed_wall_ms *
+        1000.0;
+    result.profile.sims_per_sec =
+        static_cast<double>(result.profile.simulations) /
+        result.elapsed_wall_ms * 1000.0;
+  }
   return result;
 }
 
@@ -181,8 +232,25 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
   }
 
   std::vector<ShardOutcome> outcomes(num_utils * sets);
+  // Shard timing, collected by the thread pool's observer in completion
+  // order (diagnostics only — see SweepProfile), and progress bookkeeping.
+  std::vector<double> queue_waits, run_times;
+  queue_waits.reserve(outcomes.size());
+  run_times.reserve(outcomes.size());
+  std::mutex profile_mutex;
+  const auto total_shards = static_cast<int64_t>(outcomes.size());
+  int64_t shards_done = 0;
   {
     ThreadPool pool(jobs);
+    pool.SetTaskObserver([&](double queue_wait_ms, double run_ms) {
+      std::lock_guard<std::mutex> lock(profile_mutex);
+      queue_waits.push_back(queue_wait_ms);
+      run_times.push_back(run_ms);
+      ++shards_done;
+      if (options_.progress) {
+        options_.progress(shards_done, total_shards);
+      }
+    });
     std::vector<std::future<void>> pending;
     pending.reserve(outcomes.size());
     for (size_t ui = 0; ui < num_utils; ++ui) {
@@ -236,9 +304,46 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
         }
         cell.audit_violations += outcome.policies[p].audit_violations;
         result.audit_violations += outcome.policies[p].audit_violations;
+        cell.counters.MergeFrom(outcome.policies[p].counters);
       }
     }
     result.rows.push_back(std::move(row));
+  }
+
+  // Profile: grid-wide counter totals fold the per-cell merges (still serial
+  // order, still bit-identical); timing summarizes the observer's samples.
+  result.profile.shards = total_shards;
+  bool edf_in_list = false;
+  for (const auto& id : options_.policy_ids) {
+    edf_in_list |= id == "edf";
+  }
+  result.profile.simulations =
+      total_shards * static_cast<int64_t>(options_.policy_ids.size() +
+                                          (edf_in_list ? 0 : 1));
+  result.profile.policy_counters.resize(options_.policy_ids.size());
+  for (const auto& row : result.rows) {
+    for (size_t p = 0; p < row.cells.size(); ++p) {
+      result.profile.policy_counters[p].MergeFrom(row.cells[p].counters);
+    }
+  }
+  if (!run_times.empty()) {
+    double sum = 0, max = 0;
+    for (double t : run_times) {
+      sum += t;
+      max = std::max(max, t);
+    }
+    result.profile.mean_shard_ms = sum / static_cast<double>(run_times.size());
+    result.profile.max_shard_ms = max;
+    result.profile.p50_shard_ms = Percentile(run_times, 50);
+    result.profile.p95_shard_ms = Percentile(run_times, 95);
+    sum = max = 0;
+    for (double t : queue_waits) {
+      sum += t;
+      max = std::max(max, t);
+    }
+    result.profile.mean_queue_wait_ms =
+        sum / static_cast<double>(queue_waits.size());
+    result.profile.max_queue_wait_ms = max;
   }
   return result;
 }
@@ -282,6 +387,91 @@ bool AnyDeadlineMiss(const SweepResult& result) {
     }
   }
   return false;
+}
+
+namespace {
+
+JsonValue CountersToJson(const PolicyCounters& counters) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("speed_change_requests", counters.speed_change_requests);
+  doc.Set("speed_transitions", counters.speed_transitions);
+  doc.Set("slack_completions", counters.slack_completions);
+  doc.Set("slack_reclaimed_ms", counters.slack_reclaimed_ms);
+  doc.Set("deferral_decisions", counters.deferral_decisions);
+  doc.Set("work_deferred_ms", counters.work_deferred_ms);
+  doc.Set("utilization_samples", counters.utilization_samples);
+  doc.Set("utilization_sum", counters.utilization_sum);
+  return doc;
+}
+
+}  // namespace
+
+JsonValue SweepResultToJson(const SweepResult& result) {
+  const SweepOptions& options = result.options;
+  JsonValue doc = JsonValue::Object();
+
+  JsonValue& config = doc.Set("config", JsonValue::Object());
+  JsonValue& ids = config.Set("policy_ids", JsonValue::Array());
+  for (const auto& id : options.policy_ids) {
+    ids.Append(id);
+  }
+  JsonValue& utils = config.Set("utilizations", JsonValue::Array());
+  for (double u : options.utilizations) {
+    utils.Append(u);
+  }
+  config.Set("num_tasks", options.num_tasks);
+  config.Set("tasksets_per_point", options.tasksets_per_point);
+  config.Set("horizon_ms", options.horizon_ms);
+  config.Set("idle_level", options.idle_level);
+  config.Set("switch_time_ms", options.switch_time_ms);
+  config.Set("energy_coefficient", options.energy_coefficient);
+  config.Set("use_uunifast", options.use_uunifast);
+  config.Set("seed", options.seed);
+  config.Set("jobs", options.jobs);
+
+  const double horizon_ms = options.horizon_ms;
+  JsonValue& rows = doc.Set("rows", JsonValue::Array());
+  for (const auto& row : result.rows) {
+    JsonValue& row_doc = rows.Append(JsonValue::Object());
+    row_doc.Set("utilization", row.utilization);
+    row_doc.Set("bound_per_sec", row.bound.mean() / horizon_ms * 1000.0);
+    row_doc.Set("normalized_bound", row.normalized_bound.mean());
+    JsonValue& policies = row_doc.Set("policies", JsonValue::Array());
+    for (size_t p = 0; p < row.cells.size(); ++p) {
+      const PolicyCell& cell = row.cells[p];
+      JsonValue& cell_doc = policies.Append(JsonValue::Object());
+      cell_doc.Set("id", options.policy_ids[p]);
+      cell_doc.Set("energy_per_sec", cell.energy.mean() / horizon_ms * 1000.0);
+      cell_doc.Set("normalized", cell.normalized_energy.mean());
+      cell_doc.Set("stderr_normalized", cell.normalized_energy.stderr_mean());
+      cell_doc.Set("deadline_misses", cell.deadline_misses);
+      cell_doc.Set("tasksets_with_misses", cell.tasksets_with_misses);
+      cell_doc.Set("audit_violations", cell.audit_violations);
+      cell_doc.Set("counters", CountersToJson(cell.counters));
+    }
+  }
+
+  JsonValue& profile = doc.Set("profile", JsonValue::Object());
+  profile.Set("shards", result.profile.shards);
+  profile.Set("simulations", result.profile.simulations);
+  profile.Set("mean_shard_ms", result.profile.mean_shard_ms);
+  profile.Set("p50_shard_ms", result.profile.p50_shard_ms);
+  profile.Set("p95_shard_ms", result.profile.p95_shard_ms);
+  profile.Set("max_shard_ms", result.profile.max_shard_ms);
+  profile.Set("mean_queue_wait_ms", result.profile.mean_queue_wait_ms);
+  profile.Set("max_queue_wait_ms", result.profile.max_queue_wait_ms);
+  profile.Set("shards_per_sec", result.profile.shards_per_sec);
+  profile.Set("sims_per_sec", result.profile.sims_per_sec);
+  JsonValue& totals = profile.Set("policy_counters", JsonValue::Object());
+  for (size_t p = 0; p < result.profile.policy_counters.size(); ++p) {
+    totals.Set(options.policy_ids[p],
+               CountersToJson(result.profile.policy_counters[p]));
+  }
+
+  doc.Set("audit_violations", result.audit_violations);
+  doc.Set("elapsed_wall_ms", result.elapsed_wall_ms);
+  doc.Set("elapsed_cpu_ms", result.elapsed_cpu_ms);
+  return doc;
 }
 
 void WriteCsv(const SweepResult& result, std::ostream& out,

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/cpu/machine_spec.h"
+#include "src/dvs/policy_counters.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/taskset_generator.h"
 #include "src/sim/simulator.h"
@@ -37,6 +38,8 @@
 #include "src/util/table.h"
 
 namespace rtdvs {
+
+class JsonValue;
 
 struct SweepOptions {
   // Policies to run, by factory id; defaults to the paper's six.
@@ -68,6 +71,11 @@ struct SweepOptions {
   // Worker threads for the sweep; 0 = hardware concurrency. Any value
   // produces bit-identical results (see the parallelism note above).
   int jobs = 0;
+  // Optional progress hook, invoked once per completed shard with
+  // (shards done, shards total). Calls are serialized by an internal mutex
+  // but arrive from worker threads in completion order — keep it fast and
+  // do not touch sweep state from it.
+  std::function<void(int64_t done, int64_t total)> progress;
 };
 
 // Aggregated outcome of one policy at one utilization point.
@@ -77,6 +85,9 @@ struct PolicyCell {
   int64_t deadline_misses = 0;
   int64_t tasksets_with_misses = 0;
   int64_t audit_violations = 0;    // SimAudit violations across this cell
+  // Policy decision counters summed over the cell's simulations, merged in
+  // serial grid order — bit-identical for every jobs value.
+  PolicyCounters counters;
 };
 
 struct SweepRow {
@@ -84,6 +95,28 @@ struct SweepRow {
   std::vector<PolicyCell> cells;   // parallel to options.policy_ids
   RunningStats bound;              // absolute lower bound
   RunningStats normalized_bound;   // bound / EDF energy
+};
+
+// Execution profile of one sweep run: shard timing measured by the thread
+// pool around each shard task, plus grid-wide policy counter totals.
+//
+// The timing statistics accumulate in shard *completion* order and measure
+// wall time on a loaded machine, so they vary run to run — diagnostics, not
+// results. The policy counter totals are merged in serial grid order and
+// are bit-identical for every jobs value, like everything else in rows.
+struct SweepProfile {
+  int64_t shards = 0;
+  int64_t simulations = 0;  // policy runs + EDF baselines across the grid
+  double mean_shard_ms = 0;
+  double p50_shard_ms = 0;
+  double p95_shard_ms = 0;
+  double max_shard_ms = 0;
+  double mean_queue_wait_ms = 0;
+  double max_queue_wait_ms = 0;
+  double shards_per_sec = 0;  // over Run()'s wall time
+  double sims_per_sec = 0;
+  // Grid-wide totals per policy, parallel to options.policy_ids.
+  std::vector<PolicyCounters> policy_counters;
 };
 
 // The complete outcome of one sweep: the data, an echo of the (resolved)
@@ -100,6 +133,7 @@ struct SweepResult {
   // the only acceptable value for a healthy build.
   int64_t audit_violations = 0;
   std::vector<std::string> audit_messages;  // first few, for diagnostics
+  SweepProfile profile;
 };
 
 class UtilizationSweep {
@@ -141,6 +175,23 @@ void WriteCsv(const SweepResult& result, std::ostream& out,
 
 // The default utilization grid 0.05, 0.10, ..., 1.0.
 std::vector<double> DefaultUtilizationGrid();
+
+// A SweepOptions::progress callback rendering a single in-place updating
+// stderr line: "sweep: 37/200 shards (18%)  elapsed 1.2s  eta 5.3s". Prints
+// at most ~5 times/sec plus a final newline when done == total. Off by
+// default everywhere; opt in with --progress.
+std::function<void(int64_t done, int64_t total)> MakeStderrProgress();
+
+// Machine-readable form of a SweepResult, used by the bench --json emitters:
+//   {"config": {...},            // resolved options echo
+//    "rows": [{"utilization", "bound", "normalized_bound",
+//              "policies": [{"id", "energy_per_sec", "normalized",
+//                            "stderr_normalized", "deadline_misses",
+//                            "tasksets_with_misses", "audit_violations",
+//                            "counters": {...}}, ...]}, ...],
+//    "profile": {...},           // SweepProfile incl. per-policy counters
+//    "audit_violations": N, "elapsed_wall_ms": ..., "elapsed_cpu_ms": ...}
+JsonValue SweepResultToJson(const SweepResult& result);
 
 }  // namespace rtdvs
 

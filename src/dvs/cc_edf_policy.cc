@@ -35,6 +35,11 @@ void CcEdfPolicy::OnTaskCompletion(int task_id, const PolicyContext& ctx,
   // cc_i: the actual cycles consumed this invocation, capped at the
   // specified bound (a task must not gain budget by overrunning).
   double used = std::min(ctx.view(task_id).last_actual_work, task.wcet_ms);
+  const double slack = task.wcet_ms - used;
+  if (slack > 0) {
+    counters_.slack_completions += 1;
+    counters_.slack_reclaimed_ms += slack;
+  }
   utilization_[static_cast<size_t>(task_id)] = used / task.period_ms;
   SelectFrequency(ctx, speed);
 }
@@ -48,8 +53,9 @@ double CcEdfPolicy::TotalTrackedUtilization() const {
 }
 
 void CcEdfPolicy::SelectFrequency(const PolicyContext& ctx, SpeedController& speed) {
-  speed.SetOperatingPoint(
-      ctx.machine->LowestPointAtLeastClamped(TotalTrackedUtilization()));
+  const double utilization = TotalTrackedUtilization();
+  RecordUtilizationSample(utilization);
+  RequestOperatingPoint(speed, ctx.machine->LowestPointAtLeastClamped(utilization));
 }
 
 }  // namespace rtdvs

@@ -26,7 +26,7 @@ void CcRmPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
   degraded_ = !static_point.has_value();
   f_ss_ = degraded_ ? ctx.machine->max_point().frequency : static_point->frequency;
   if (degraded_) {
-    speed.SetOperatingPoint(ctx.machine->max_point());
+    RequestOperatingPoint(speed, ctx.machine->max_point());
     return;
   }
   AllocateCycles(ctx);
@@ -61,6 +61,13 @@ void CcRmPolicy::OnTaskCompletion(int task_id, const PolicyContext& ctx,
     return;
   }
   Sync(ctx);
+  // Whatever worst-case allowance the invocation did not consume is the
+  // slack this completion hands back to the pacing budget (C_i - cc_i).
+  const double slack = c_left_[static_cast<size_t>(task_id)];
+  if (slack > 0) {
+    counters_.slack_completions += 1;
+    counters_.slack_reclaimed_ms += slack;
+  }
   c_left_[static_cast<size_t>(task_id)] = 0.0;
   d_[static_cast<size_t>(task_id)] = 0.0;
   SelectFrequency(ctx, speed);
@@ -94,9 +101,11 @@ void CcRmPolicy::SelectFrequency(const PolicyContext& ctx, SpeedController& spee
   if (interval <= kTimeEpsMs) {
     point = (pending > kWorkEps) ? ctx.machine->max_point() : ctx.machine->min_point();
   } else {
-    point = ctx.machine->LowestPointAtLeastClamped(pending / interval);
+    const double utilization = pending / interval;
+    RecordUtilizationSample(utilization);
+    point = ctx.machine->LowestPointAtLeastClamped(utilization);
   }
-  speed.SetOperatingPoint(point);
+  RequestOperatingPoint(speed, point);
 }
 
 }  // namespace rtdvs

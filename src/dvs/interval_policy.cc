@@ -13,7 +13,7 @@ IntervalPolicy::IntervalPolicy(IntervalPolicyOptions options) : options_(options
 
 void IntervalPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
   // Start at full speed, like a governor taking over a running system.
-  speed.SetOperatingPoint(ctx.machine->max_point());
+  RequestOperatingPoint(speed, ctx.machine->max_point());
   predicted_rate_ = ctx.machine->max_point().frequency;
   last_window_work_ = ctx.cumulative_work;
   next_wakeup_ms_ = ctx.now_ms + options_.window_ms;
@@ -30,8 +30,9 @@ void IntervalPolicy::OnWakeup(const PolicyContext& ctx, SpeedController& speed) 
   double measured_rate = window_work / options_.window_ms;
   predicted_rate_ = options_.ewma_weight * measured_rate +
                     (1.0 - options_.ewma_weight) * predicted_rate_;
-  speed.SetOperatingPoint(
-      ctx.machine->LowestPointAtLeastClamped(predicted_rate_ * options_.headroom));
+  const double target = predicted_rate_ * options_.headroom;
+  RecordUtilizationSample(target);
+  RequestOperatingPoint(speed, ctx.machine->LowestPointAtLeastClamped(target));
   next_wakeup_ms_ = ctx.now_ms + options_.window_ms;
 }
 

@@ -74,15 +74,24 @@ void LaEdfPolicy::Defer(const PolicyContext& ctx, SpeedController& speed) {
     must_run_now += x;
   }
 
+  // Everything not forced before d_next was pushed past it by this defer
+  // pass; total remaining work minus s is the deferred amount.
+  const double total_left =
+      std::accumulate(c_left_.begin(), c_left_.end(), 0.0);
+  counters_.deferral_decisions += 1;
+  counters_.work_deferred_ms += std::max(0.0, total_left - must_run_now);
+
   const double interval = d_next - ctx.now_ms;
   OperatingPoint point;
   if (interval <= kTimeEpsMs) {
     point = (must_run_now > kWorkEps) ? ctx.machine->max_point()
                                       : ctx.machine->min_point();
   } else {
-    point = ctx.machine->LowestPointAtLeastClamped(must_run_now / interval);
+    const double utilization = must_run_now / interval;
+    RecordUtilizationSample(utilization);
+    point = ctx.machine->LowestPointAtLeastClamped(utilization);
   }
-  speed.SetOperatingPoint(point);
+  RequestOperatingPoint(speed, point);
 }
 
 }  // namespace rtdvs

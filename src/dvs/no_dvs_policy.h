@@ -15,7 +15,7 @@ class NoDvsPolicy : public DvsPolicy {
   SchedulerKind scheduler_kind() const override { return kind_; }
 
   void OnStart(const PolicyContext& ctx, SpeedController& speed) override {
-    speed.SetOperatingPoint(ctx.machine->max_point());
+    RequestOperatingPoint(speed, ctx.machine->max_point());
   }
 
  private:

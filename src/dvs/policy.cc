@@ -22,7 +22,7 @@ double PolicyContext::EarliestDeadline() const {
 
 void DvsPolicy::OnIdle(const PolicyContext& ctx, SpeedController& speed) {
   if (lowers_speed_when_idle()) {
-    speed.SetOperatingPoint(ctx.machine->min_point());
+    RequestOperatingPoint(speed, ctx.machine->min_point());
   }
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/cpu/machine_spec.h"
+#include "src/dvs/policy_counters.h"
 #include "src/rt/scheduler.h"
 #include "src/rt/task.h"
 
@@ -123,6 +124,33 @@ class DvsPolicy {
     (void)ctx;
     (void)speed;
   }
+
+  // Decision counters accumulated over the policy's lifetime (they survive
+  // OnStart re-initialization on task-set changes); the simulator copies
+  // them into SimResult::policy_counters after a run.
+  const PolicyCounters& counters() const { return counters_; }
+
+ protected:
+  // Policy implementations change speed through this wrapper so that request
+  // and transition counts stay consistent with the engine's speed_switches
+  // accounting: a transition is counted iff the requested point differs from
+  // the current one.
+  void RequestOperatingPoint(SpeedController& speed,
+                             const OperatingPoint& point) {
+    counters_.speed_change_requests += 1;
+    if (!(point == speed.current())) {
+      counters_.speed_transitions += 1;
+    }
+    speed.SetOperatingPoint(point);
+  }
+
+  // A utilization estimate was computed to select a frequency.
+  void RecordUtilizationSample(double utilization) {
+    counters_.utilization_samples += 1;
+    counters_.utilization_sum += utilization;
+  }
+
+  PolicyCounters counters_;
 };
 
 // Factory: creates a policy by its canonical id. Valid ids:

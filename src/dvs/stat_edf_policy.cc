@@ -85,7 +85,8 @@ void StatEdfPolicy::SelectFrequency(const PolicyContext& ctx, SpeedController& s
     }
     total += u;
   }
-  speed.SetOperatingPoint(ctx.machine->LowestPointAtLeastClamped(total));
+  RecordUtilizationSample(total);
+  RequestOperatingPoint(speed, ctx.machine->LowestPointAtLeastClamped(total));
 }
 
 }  // namespace rtdvs

@@ -28,7 +28,7 @@ void StaticScalingPolicy::OnStart(const PolicyContext& ctx, SpeedController& spe
     point = ctx.machine->max_point();
   }
   chosen_ = *point;
-  speed.SetOperatingPoint(chosen_);
+  RequestOperatingPoint(speed, chosen_);
 }
 
 }  // namespace rtdvs

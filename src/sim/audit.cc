@@ -44,6 +44,12 @@ class Auditor {
     report_.violations.push_back({check, std::move(message)});
   }
 
+  void Skip(AuditCheck check, const std::string& reason) {
+    ++report_.checks_skipped;
+    report_.skip_reasons.push_back(
+        StrFormat("%s: %s", AuditCheckName(check), reason.c_str()));
+  }
+
   void CheckTimePartition() {
     ++report_.checks_run;
     double covered = result_.busy_ms + result_.idle_ms + result_.switching_ms;
@@ -103,11 +109,13 @@ class Auditor {
   void CheckTrace() {
     if (inputs_.options == nullptr || !inputs_.options->record_trace ||
         result_.trace.segments().empty()) {
-      ++report_.checks_skipped;
+      Skip(AuditCheck::kTrace, "no trace recorded");
       return;
     }
     if (result_.trace.truncated()) {
-      ++report_.checks_skipped;
+      Skip(AuditCheck::kTrace,
+           "trace truncated at the segment capacity limit; re-integration "
+           "covers only a prefix of the run");
       return;
     }
     ++report_.checks_run;
@@ -234,17 +242,30 @@ class Auditor {
   // scheduler's admission test passes the simulated set at full speed, any
   // reported miss is an accounting or policy bug, not a workload property.
   void CheckRtGuarantee() {
-    if (!inputs_.policy_guarantees_deadlines || inputs_.tasks == nullptr ||
-        inputs_.options == nullptr ||
-        inputs_.options->switch_time_ms > 0 || result_.wcet_overruns > 0) {
-      ++report_.checks_skipped;
+    if (inputs_.tasks == nullptr || inputs_.options == nullptr) {
+      Skip(AuditCheck::kRtGuarantee, "task set or options not provided");
+      return;
+    }
+    if (!inputs_.policy_guarantees_deadlines) {
+      Skip(AuditCheck::kRtGuarantee, "policy does not guarantee deadlines");
+      return;
+    }
+    if (inputs_.options->switch_time_ms > 0) {
+      Skip(AuditCheck::kRtGuarantee,
+           "switch_time_ms > 0 voids the schedulability analysis");
+      return;
+    }
+    if (result_.wcet_overruns > 0) {
+      Skip(AuditCheck::kRtGuarantee,
+           "a WCET overrun was injected, voiding the guarantee");
       return;
     }
     bool admitted = result_.scheduler == SchedulerKind::kEdf
                         ? EdfSchedulable(*inputs_.tasks)
                         : RmSchedulableSufficient(*inputs_.tasks);
     if (!admitted) {
-      ++report_.checks_skipped;
+      Skip(AuditCheck::kRtGuarantee,
+           "task set not admitted by the schedulability test");
       return;
     }
     ++report_.checks_run;
@@ -306,14 +327,19 @@ std::string AuditReport::Summary() const {
   if (!audited) {
     return "audit: not run";
   }
+  std::string out;
   if (ok()) {
-    return StrFormat("audit: OK (%d checks, %d skipped)", checks_run,
-                     checks_skipped);
+    out = StrFormat("audit: OK (%d checks, %d skipped)", checks_run,
+                    checks_skipped);
+  } else {
+    out = StrFormat("audit: %zu violation(s)", violations.size());
+    for (const auto& violation : violations) {
+      out += StrFormat("\n  [%s] %s", AuditCheckName(violation.check),
+                       violation.message.c_str());
+    }
   }
-  std::string out = StrFormat("audit: %zu violation(s)", violations.size());
-  for (const auto& violation : violations) {
-    out += StrFormat("\n  [%s] %s", AuditCheckName(violation.check),
-                     violation.message.c_str());
+  for (const auto& reason : skip_reasons) {
+    out += StrFormat("\n  skipped %s", reason.c_str());
   }
   return out;
 }

@@ -62,11 +62,15 @@ struct AuditReport {
   int checks_run = 0;
   // Checks that could not apply (no trace, truncated trace, no guarantee).
   int checks_skipped = 0;
+  // One human-readable reason per skipped check, e.g. "trace: truncated
+  // (capacity limit hit)" — so a silently narrowed audit is visible.
+  std::vector<std::string> skip_reasons;
   std::vector<AuditViolation> violations;
 
   bool ok() const { return violations.empty(); }
   bool Violated(AuditCheck check) const;
-  // "audit: OK (6 checks, 1 skipped)" or one line per violation.
+  // "audit: OK (6 checks, 1 skipped)" with skip reasons, or one line per
+  // violation.
   std::string Summary() const;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/cpu/operating_point.h"
+#include "src/dvs/policy_counters.h"
 #include "src/rt/aperiodic.h"
 #include "src/rt/scheduler.h"
 #include "src/sim/audit.h"
@@ -68,6 +69,11 @@ struct SimResult {
   int64_t wcet_overruns = 0;
   int64_t speed_switches = 0;
   int64_t preemptions = 0;
+
+  // Decision counters reported by the DVS policy itself (requests vs actual
+  // transitions, slack reclaimed, work deferred, utilization samples);
+  // copied from DvsPolicy::counters() at the end of the run.
+  PolicyCounters policy_counters;
 
   // §3.2 theoretical bound for this run's actual workload over the horizon.
   double lower_bound_energy = 0;

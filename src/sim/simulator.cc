@@ -230,6 +230,9 @@ void Simulator::BuildContext(double now) {
 SimResult Simulator::Run() {
   RTDVS_CHECK(!ran_) << "Simulator::Run may be called once";
   ran_ = true;
+  // Counters accumulate over the policy's lifetime and the policy object may
+  // be reused across runs; report the per-run delta.
+  const PolicyCounters counters_at_start = policy_->counters();
 
   const int n = tasks_.size();
   task_states_.assign(static_cast<size_t>(n), TaskState{});
@@ -543,6 +546,7 @@ SimResult Simulator::Run() {
     aperiodic_->FinalizeStats();
     result_.aperiodic = aperiodic_->stats();
   }
+  result_.policy_counters = policy_->counters().DiffSince(counters_at_start);
   if (options_.audit) {
     AuditInputs inputs;
     inputs.tasks = &tasks_;

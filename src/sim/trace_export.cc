@@ -1,0 +1,170 @@
+#include "src/sim/trace_export.h"
+
+#include <string>
+
+#include "src/cpu/energy_model.h"
+#include "src/rt/task.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/util/json.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+namespace {
+
+// One process, tid 0 for the CPU (idle/switching) track, tid task_id + 1
+// for each task track. Task id 0 would otherwise collide with the CPU tid.
+constexpr int kPid = 0;
+constexpr int kCpuTid = 0;
+
+int TaskTid(int task_id) { return task_id + 1; }
+
+double ToMicros(double ms) { return ms * 1000.0; }
+
+JsonValue MetadataEvent(const char* name, int tid, const std::string& value) {
+  JsonValue event = JsonValue::Object();
+  event.Set("name", name);
+  event.Set("ph", "M");
+  event.Set("pid", kPid);
+  event.Set("tid", tid);
+  event.Set("args", JsonValue::Object()).Set("name", value);
+  return event;
+}
+
+const char* EventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRelease:
+      return "release";
+    case TraceEventKind::kCompletion:
+      return "completion";
+    case TraceEventKind::kDeadlineMiss:
+      return "deadline_miss";
+    case TraceEventKind::kSpeedChange:
+      return "speed_change";
+    case TraceEventKind::kIdleStart:
+      return "idle_start";
+  }
+  return "?";
+}
+
+}  // namespace
+
+JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
+                            const SimOptions& options) {
+  const EnergyModel energy(options.idle_level, options.energy_coefficient);
+  JsonValue doc = JsonValue::Object();
+  JsonValue& events = doc.Set("traceEvents", JsonValue::Array());
+
+  // Track naming metadata first: process, CPU track, one track per task.
+  events.Append(MetadataEvent("process_name", kCpuTid,
+                              "rtdvs-sim " + result.policy_name));
+  events.Append(MetadataEvent("thread_name", kCpuTid, "cpu (idle/switch)"));
+  for (int id = 0; id < tasks.size(); ++id) {
+    const Task& task = tasks.task(id);
+    events.Append(MetadataEvent(
+        "thread_name", TaskTid(id),
+        StrFormat("%s (C=%g T=%g)", task.name.c_str(), task.wcet_ms,
+                  task.period_ms)));
+  }
+
+  // Frequency/voltage counter track, stepped at every operating-point
+  // change. Derived from the segments themselves (not the kSpeedChange
+  // events) so the counter value in effect over any slice re-integrates
+  // exactly to the energy that slice reports.
+  const OperatingPoint* last_point = nullptr;
+  for (const auto& segment : result.trace.segments()) {
+    if (last_point != nullptr && segment.point == *last_point) {
+      continue;
+    }
+    last_point = &segment.point;
+    JsonValue counter = JsonValue::Object();
+    counter.Set("name", "frequency");
+    counter.Set("ph", "C");
+    counter.Set("ts", ToMicros(segment.start_ms));
+    counter.Set("pid", kPid);
+    JsonValue& args = counter.Set("args", JsonValue::Object());
+    args.Set("frequency", segment.point.frequency);
+    args.Set("voltage", segment.point.voltage);
+    events.Append(std::move(counter));
+  }
+
+  // Complete ("X") slices: execution on the task tracks, idle/switching on
+  // the CPU track.
+  for (const auto& segment : result.trace.segments()) {
+    const double wall_ms = segment.end_ms - segment.start_ms;
+    JsonValue slice = JsonValue::Object();
+    switch (segment.state) {
+      case CpuState::kExecuting: {
+        slice.Set("name", tasks.task(segment.task_id).name);
+        slice.Set("tid", TaskTid(segment.task_id));
+        const double work = wall_ms * segment.point.frequency;
+        JsonValue& args = slice.Set("args", JsonValue::Object());
+        args.Set("frequency", segment.point.frequency);
+        args.Set("voltage", segment.point.voltage);
+        args.Set("work", work);
+        args.Set("energy", energy.ExecutionEnergy(work, segment.point));
+        break;
+      }
+      case CpuState::kIdle: {
+        slice.Set("name", "idle");
+        slice.Set("tid", kCpuTid);
+        JsonValue& args = slice.Set("args", JsonValue::Object());
+        args.Set("frequency", segment.point.frequency);
+        args.Set("voltage", segment.point.voltage);
+        args.Set("energy", energy.IdleEnergy(wall_ms, segment.point));
+        break;
+      }
+      case CpuState::kSwitching: {
+        slice.Set("name", "switch");
+        slice.Set("tid", kCpuTid);
+        JsonValue& args = slice.Set("args", JsonValue::Object());
+        args.Set("frequency", segment.point.frequency);
+        args.Set("voltage", segment.point.voltage);
+        break;
+      }
+    }
+    slice.Set("ph", "X");
+    slice.Set("ts", ToMicros(segment.start_ms));
+    slice.Set("dur", ToMicros(wall_ms));
+    slice.Set("pid", kPid);
+    events.Append(std::move(slice));
+  }
+
+  // Instant ("i") marks: task events on their task's track, speed changes
+  // and idle starts on the CPU track.
+  for (const auto& event : result.trace.events()) {
+    JsonValue instant = JsonValue::Object();
+    instant.Set("name", EventKindName(event.kind));
+    instant.Set("ph", "i");
+    instant.Set("ts", ToMicros(event.time_ms));
+    instant.Set("pid", kPid);
+    instant.Set("tid", event.task_id >= 0 ? TaskTid(event.task_id) : kCpuTid);
+    instant.Set("s", "t");  // thread-scoped mark
+    if (event.kind == TraceEventKind::kSpeedChange) {
+      JsonValue& args = instant.Set("args", JsonValue::Object());
+      args.Set("frequency", event.point.frequency);
+      args.Set("voltage", event.point.voltage);
+    }
+    events.Append(std::move(instant));
+  }
+
+  doc.Set("displayTimeUnit", "ms");
+  JsonValue& other = doc.Set("otherData", JsonValue::Object());
+  other.Set("policy", result.policy_name);
+  other.Set("horizon_ms", result.horizon_ms);
+  other.Set("truncated", result.trace.truncated());
+  other.Set("segments", result.trace.segments().size());
+  other.Set("exec_energy", result.exec_energy);
+  other.Set("idle_energy", result.idle_energy);
+  other.Set("idle_level", options.idle_level);
+  other.Set("energy_coefficient", options.energy_coefficient);
+  other.Set("switch_time_ms", options.switch_time_ms);
+  return doc;
+}
+
+bool WriteChromeTrace(const SimResult& result, const TaskSet& tasks,
+                      const SimOptions& options, const std::string& path) {
+  return WriteJsonFile(ExportChromeTrace(result, tasks, options), path);
+}
+
+}  // namespace rtdvs

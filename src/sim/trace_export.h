@@ -1,0 +1,40 @@
+// Chrome trace-event JSON export of a simulation Trace.
+//
+// The emitted document loads directly into Perfetto (ui.perfetto.dev) or
+// chrome://tracing: one track per task with its execution slices, a "cpu"
+// track carrying idle/switching slices, a frequency/voltage counter track
+// that steps at every operating-point change, and instant events for
+// releases, completions, deadline misses and speed changes. Timestamps are
+// microseconds (the format's unit); simulation milliseconds scale by 1000.
+//
+// Every execution slice carries {frequency, voltage, work, energy} args and
+// the counter track is derived from the same segments, so the document
+// re-integrates exactly to SimResult::exec_energy — the exporter golden test
+// enforces this.
+#ifndef SRC_SIM_TRACE_EXPORT_H_
+#define SRC_SIM_TRACE_EXPORT_H_
+
+#include <string>
+
+namespace rtdvs {
+
+class JsonValue;
+class TaskSet;
+struct SimOptions;
+struct SimResult;
+
+// Builds the Chrome trace-event document for `result.trace`. `tasks` must be
+// the set as simulated (server task included) — track names come from it.
+// The top-level "otherData" object echoes the run (policy, horizon, energy
+// totals, idle_level, energy_coefficient) and carries the `truncated` flag,
+// so a prefix-only trace is never mistaken for a full one.
+JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
+                            const SimOptions& options);
+
+// ExportChromeTrace + write to `path`; returns false on I/O failure.
+bool WriteChromeTrace(const SimResult& result, const TaskSet& tasks,
+                      const SimOptions& options, const std::string& path);
+
+}  // namespace rtdvs
+
+#endif  // SRC_SIM_TRACE_EXPORT_H_

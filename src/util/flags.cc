@@ -78,6 +78,10 @@ bool FlagSet::Parse(int argc, char** argv) {
       return false;
     }
     if (!StartsWith(arg, "--")) {
+      if (allow_positional_) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
       std::fprintf(stderr, "error: unexpected positional argument '%s'\n", arg.c_str());
       return false;
     }

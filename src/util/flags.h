@@ -23,8 +23,14 @@ class FlagSet {
   void AddString(const std::string& name, std::string* target, const std::string& help);
   void AddBool(const std::string& name, bool* target, const std::string& help);
 
+  // Accept non-flag arguments (collected via positional()) instead of
+  // rejecting them; for tools taking file lists, e.g. rtdvs-json-check.
+  void AllowPositional() { allow_positional_ = true; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
   // Parses argv. Returns false (after printing usage or an error) if the
-  // program should exit; positional arguments are rejected.
+  // program should exit; positional arguments are rejected unless
+  // AllowPositional() was called.
   [[nodiscard]] bool Parse(int argc, char** argv);
 
   void PrintUsage(const std::string& program_name) const;
@@ -43,6 +49,8 @@ class FlagSet {
 
   std::string description_;
   std::vector<Flag> flags_;
+  bool allow_positional_ = false;
+  std::vector<std::string> positional_;
 };
 
 }  // namespace rtdvs

@@ -1,0 +1,516 @@
+#include "src/util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+namespace {
+
+void WriteEscapedString(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\b':
+        out << "\\b";
+        break;
+      case '\f':
+        out << "\\f";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+void WriteDouble(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  RTDVS_CHECK(ec == std::errc());
+  std::string_view text(buf, static_cast<size_t>(ptr - buf));
+  out << text;
+  // std::to_chars emits "1" for 1.0; keep it — integers-as-doubles parsing
+  // back as kInt is fine for every consumer in this repo.
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    auto value = ParseValue();
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  std::optional<JsonValue> Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          return JsonValue();
+        }
+        return Fail("bad literal");
+      case 't':
+        if (ConsumeLiteral("true")) {
+          return JsonValue(true);
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          return JsonValue(false);
+        }
+        return Fail("bad literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray();
+      case '{':
+        return ParseObject();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    std::string out;
+    if (!ParseRawString(&out)) {
+      return std::nullopt;
+    }
+    return JsonValue(std::move(out));
+  }
+
+  bool ParseRawString(std::string* out) {
+    if (!Consume('"')) {
+      Fail("expected '\"'");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape digit");
+              return false;
+            }
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences; no emitter in this repo
+          // produces them).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape character");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Fail("expected a value");
+    }
+    if (integral) {
+      int64_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Fall through: out-of-range integers parse as doubles.
+    }
+    double value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Fail("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    Consume('[');
+    JsonValue out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return out;
+    }
+    while (true) {
+      auto element = ParseValue();
+      if (!element.has_value()) {
+        return std::nullopt;
+      }
+      out.Append(std::move(*element));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return out;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    Consume('{');
+    JsonValue out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return out;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseRawString(&key)) {
+        return std::nullopt;
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      auto value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      out.Set(std::move(key), std::move(*value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return out;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  RTDVS_CHECK(kind_ == Kind::kBool) << "JsonValue is not a bool";
+  return bool_;
+}
+
+int64_t JsonValue::AsInt() const {
+  if (kind_ == Kind::kDouble) {
+    auto truncated = static_cast<int64_t>(double_);
+    RTDVS_CHECK(static_cast<double>(truncated) == double_)
+        << "JsonValue double is not integral";
+    return truncated;
+  }
+  RTDVS_CHECK(kind_ == Kind::kInt) << "JsonValue is not an integer";
+  return int_;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ == Kind::kInt) {
+    return static_cast<double>(int_);
+  }
+  RTDVS_CHECK(kind_ == Kind::kDouble) << "JsonValue is not a number";
+  return double_;
+}
+
+const std::string& JsonValue::AsString() const {
+  RTDVS_CHECK(kind_ == Kind::kString) << "JsonValue is not a string";
+  return string_;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  RTDVS_CHECK(kind_ == Kind::kArray) << "Append on a non-array JsonValue";
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) {
+    return array_.size();
+  }
+  RTDVS_CHECK(kind_ == Kind::kObject) << "size() on a non-container JsonValue";
+  return object_.size();
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  RTDVS_CHECK(kind_ == Kind::kArray) << "at() on a non-array JsonValue";
+  RTDVS_CHECK(index < array_.size()) << "JsonValue index out of range";
+  return array_[index];
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  RTDVS_CHECK(kind_ == Kind::kObject) << "Set on a non-object JsonValue";
+  for (auto& entry : object_) {
+    if (entry.first == key) {
+      entry.second = std::move(value);
+      return entry.second;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& entry : object_) {
+    if (entry.first == key) {
+      return &entry.second;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::Get(std::string_view key) const {
+  const JsonValue* found = Find(key);
+  RTDVS_CHECK(found != nullptr) << "missing JSON key '" << std::string(key) << "'";
+  return *found;
+}
+
+void JsonValue::WriteIndented(std::ostream& out, int indent, int depth) const {
+  auto newline_pad = [&](int d) {
+    if (indent >= 0) {
+      out << '\n';
+      for (int i = 0; i < indent * d; ++i) {
+        out << ' ';
+      }
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out << "null";
+      break;
+    case Kind::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      out << int_;
+      break;
+    case Kind::kDouble:
+      WriteDouble(out, double_);
+      break;
+    case Kind::kString:
+      WriteEscapedString(out, string_);
+      break;
+    case Kind::kArray: {
+      out << '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out << ',';
+          if (indent < 0) {
+            // compact: no space
+          }
+        }
+        newline_pad(depth + 1);
+        array_[i].WriteIndented(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        newline_pad(depth);
+      }
+      out << ']';
+      break;
+    }
+    case Kind::kObject: {
+      out << '{';
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out << ',';
+        }
+        newline_pad(depth + 1);
+        WriteEscapedString(out, object_[i].first);
+        out << ':';
+        if (indent >= 0) {
+          out << ' ';
+        }
+        object_[i].second.WriteIndented(out, indent, depth + 1);
+      }
+      if (!object_.empty()) {
+        newline_pad(depth);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::Write(std::ostream& out, int indent) const {
+  WriteIndented(out, indent, 0);
+}
+
+std::string JsonValue::ToString(int indent) const {
+  std::ostringstream out;
+  Write(out, indent);
+  return out.str();
+}
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text,
+                                          std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  return Parser(text, error).Run();
+}
+
+bool WriteJsonFile(const JsonValue& value, const std::string& path, int indent) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  value.Write(out, indent);
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,104 @@
+// A minimal, dependency-free JSON value with a writer and a strict parser.
+//
+// Grown for the observability layer: the Chrome-trace exporter and the
+// bench --json emitters build documents through this type, the CI validator
+// and the golden tests parse them back. Object keys keep insertion order so
+// emitted documents are byte-stable across runs — a requirement for golden
+// tests and for diffing BENCH_*.json files between commits.
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtdvs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}            // NOLINT
+  JsonValue(int value) : kind_(Kind::kInt), int_(value) {}               // NOLINT
+  JsonValue(int64_t value) : kind_(Kind::kInt), int_(value) {}           // NOLINT
+  JsonValue(uint64_t value)                                              // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<int64_t>(value)) {}
+  JsonValue(double value) : kind_(Kind::kDouble), double_(value) {}      // NOLINT
+  JsonValue(std::string value)                                           // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : kind_(Kind::kString), string_(value) {}  // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+
+  // Scalar accessors; aborting on a kind mismatch keeps test code terse.
+  bool AsBool() const;
+  int64_t AsInt() const;          // also accepts an integral double
+  double AsDouble() const;        // accepts kInt
+  const std::string& AsString() const;
+
+  // Array interface.
+  JsonValue& Append(JsonValue value);  // returns the appended element
+  size_t size() const;                 // array or object element count
+  const JsonValue& at(size_t index) const;
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  // Object interface (insertion-ordered; Set on an existing key overwrites
+  // in place, preserving the original position).
+  JsonValue& Set(std::string key, JsonValue value);  // returns the stored value
+  const JsonValue* Find(std::string_view key) const;
+  // Find + abort if missing: doc.Get("rows").at(0).Get("policy").AsString().
+  const JsonValue& Get(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& entries() const {
+    return object_;
+  }
+
+  // Serialization. indent < 0: compact single line; indent >= 0: pretty-print
+  // with that many spaces per level. Doubles use the shortest representation
+  // that round-trips; NaN/Inf (not representable in JSON) emit null.
+  void Write(std::ostream& out, int indent = -1) const;
+  std::string ToString(int indent = -1) const;
+
+  // Strict parser: exactly one JSON value followed by whitespace. On failure
+  // returns nullopt and, when `error` is non-null, a message with the byte
+  // offset of the problem.
+  static std::optional<JsonValue> Parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+ private:
+  void WriteIndented(std::ostream& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Writes `value` to `path` with a trailing newline; returns false (and logs
+// nothing) on I/O failure so CLI callers can report the path themselves.
+bool WriteJsonFile(const JsonValue& value, const std::string& path,
+                   int indent = 1);
+
+}  // namespace rtdvs
+
+#endif  // SRC_UTIL_JSON_H_

@@ -2,11 +2,39 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace rtdvs {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+// -1 = not yet initialized; the first GetLogLevel() consults RTDVS_LOG.
+constexpr int kUninitialized = -1;
+
+std::atomic<int> g_min_level{kUninitialized};
+
+// Accepts level names (debug|info|warn|warning|error) or the numeric enum
+// values 0-3; anything else falls back to the kWarning default.
+int LevelFromEnv() {
+  const char* env = std::getenv("RTDVS_LOG");
+  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kWarning);
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "warning") == 0 ||
+      std::strcmp(env, "2") == 0) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  std::fprintf(stderr, "[WARN logging.cc] unrecognized RTDVS_LOG=%s (want debug|info|warn|error or 0-3)\n",
+               env);
+  return static_cast<int>(LogLevel::kWarning);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,7 +54,17 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+LogLevel GetLogLevel() {
+  int level = g_min_level.load();
+  if (level == kUninitialized) {
+    // Benign race: every loser computes the same value from the environment.
+    level = LevelFromEnv();
+    int expected = kUninitialized;
+    g_min_level.compare_exchange_strong(expected, level);
+    level = g_min_level.load();
+  }
+  return static_cast<LogLevel>(level);
+}
 
 namespace internal {
 

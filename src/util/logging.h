@@ -2,7 +2,9 @@
 //
 // The simulator is a library first; logging defaults to kWarning so that
 // benches and tests stay quiet unless something is wrong. Examples raise the
-// level to kInfo for narrative output.
+// level to kInfo for narrative output. The RTDVS_LOG environment variable
+// (debug|info|warn|error, or 0-3) overrides the default without recompiling;
+// SetLogLevel() wins over the environment.
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 

@@ -1,0 +1,154 @@
+#include "src/util/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/json.h"
+
+namespace rtdvs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  RTDVS_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  RTDVS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+Histogram Histogram::Exponential(double start, double factor, int count) {
+  RTDVS_CHECK(start > 0 && factor > 1 && count >= 1)
+      << "exponential buckets need start > 0, factor > 1, count >= 1";
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += 1;
+  sum_ += value;
+}
+
+double Histogram::ValueAtPercentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based; percentile 0 maps to the first.
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(count_));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const int64_t next = seen + buckets_[i];
+    if (rank <= static_cast<double>(next)) {
+      if (i == buckets_.size() - 1) return max_;  // overflow bucket
+      const double lo = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  RTDVS_CHECK(bounds_ == other.bounds_)
+      << "cannot merge histograms with different bucket bounds";
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+void MetricsRegistry::Increment(const std::string& name, int64_t delta) {
+  GetCounter(name)->Increment(delta);
+}
+
+void MetricsRegistry::Snapshot::MergeFrom(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, histogram] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, histogram);
+    } else {
+      it->second.MergeFrom(histogram);
+    }
+  }
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snapshot::DiffFrom(
+    const Snapshot& other) const {
+  Snapshot diff;
+  for (const auto& [name, value] : counters) {
+    const auto it = other.counters.find(name);
+    diff.counters[name] = value - (it == other.counters.end() ? 0 : it->second);
+  }
+  return diff;
+}
+
+bool MetricsRegistry::Snapshot::CountersEqual(const Snapshot& other) const {
+  return counters == other.counters;
+}
+
+JsonValue MetricsRegistry::Snapshot::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  JsonValue& counter_obj = doc.Set("counters", JsonValue::Object());
+  for (const auto& [name, value] : counters) counter_obj.Set(name, value);
+  JsonValue& histogram_obj = doc.Set("histograms", JsonValue::Object());
+  for (const auto& [name, histogram] : histograms) {
+    JsonValue& entry = histogram_obj.Set(name, JsonValue::Object());
+    entry.Set("count", histogram.count());
+    entry.Set("mean", histogram.mean());
+    entry.Set("p50", histogram.ValueAtPercentile(50));
+    entry.Set("p95", histogram.ValueAtPercentile(95));
+    entry.Set("p99", histogram.ValueAtPercentile(99));
+    entry.Set("max", histogram.max());
+  }
+  return doc;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, *histogram);
+  }
+  return snapshot;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,116 @@
+// A lightweight counter/histogram registry for the observability layer.
+//
+// Design constraints, in order:
+//   deterministic — snapshots iterate in lexicographic name order, so any
+//     serialization (JSON, logs) is byte-stable across runs and platforms;
+//   mergeable     — sweep shards each record into a private registry and the
+//     harness merges snapshots in serial grid order, keeping aggregate
+//     counters bit-identical for every --jobs value;
+//   allocation-cheap — hot paths hold a Counter*/Histogram* handle resolved
+//     once by name; recording a sample is an integer bump, never a lookup.
+//
+// Not thread-safe by design: one registry per shard/thread, merge after.
+#ifndef SRC_UTIL_METRICS_REGISTRY_H_
+#define SRC_UTIL_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rtdvs {
+
+class JsonValue;
+
+// A monotonically increasing named count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  int64_t value_ = 0;
+};
+
+// A fixed-bucket histogram: `bounds` are inclusive upper bucket edges, plus
+// an implicit overflow bucket. Fixed buckets keep Record() O(log buckets),
+// make merges exact (bucket-wise integer adds), and make percentile
+// estimates deterministic functions of the bucket counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  // `count` buckets whose edges grow geometrically from `start` by `factor`
+  // — the standard latency shape (e.g. 1us..10s at 2x).
+  static Histogram Exponential(double start, double factor, int count);
+
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Linear interpolation within the owning bucket; p in [0, 100]. The
+  // overflow bucket reports the observed max. 0 when empty.
+  double ValueAtPercentile(double p) const;
+
+  // Bucket-wise add; aborts if bucket edges differ.
+  void MergeFrom(const Histogram& other);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<int64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;    // ascending upper edges
+  std::vector<int64_t> buckets_;  // bounds_.size() + 1 (overflow last)
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Handles are stable for the registry's lifetime (node-based storage).
+  Counter* GetCounter(const std::string& name);
+  // Creates with `bounds` on first use; later calls return the existing
+  // histogram (bounds argument ignored then).
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  // Convenience one-shot forms for cold paths.
+  void Increment(const std::string& name, int64_t delta = 1);
+
+  // A snapshot is plain data, ordered by name: merge/diff/serialize freely.
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, Histogram> histograms;
+
+    // Adds `other` into this snapshot (counters add; histograms merge
+    // bucket-wise; names only in `other` are copied in).
+    void MergeFrom(const Snapshot& other);
+
+    // Counters as this - other (names missing in `other` count as 0).
+    // Histograms are not diffed — they are omitted from the result.
+    Snapshot DiffFrom(const Snapshot& other) const;
+
+    bool CountersEqual(const Snapshot& other) const;
+
+    // {"counters": {...}, "histograms": {name: {count, mean, p50, p95,
+    // p99, max}}} — name-ordered, hence byte-stable.
+    JsonValue ToJson() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_UTIL_METRICS_REGISTRY_H_

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "src/util/check.h"
+#include "src/util/json.h"
 #include "src/util/strings.h"
 
 namespace rtdvs {
@@ -87,6 +88,18 @@ void TextTable::Print(std::ostream& out) const {
   for (const auto& row : rows_) {
     print_row(row);
   }
+}
+
+JsonValue TextTable::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  JsonValue& header = doc.Set("header", JsonValue::Array());
+  for (const auto& cell : header_) header.Append(cell);
+  JsonValue& rows = doc.Set("rows", JsonValue::Array());
+  for (const auto& row : rows_) {
+    JsonValue& out_row = rows.Append(JsonValue::Array());
+    for (const auto& cell : row) out_row.Append(cell);
+  }
+  return doc;
 }
 
 void TextTable::PrintCsv(std::ostream& out, const std::string& prefix) const {

@@ -11,6 +11,8 @@
 
 namespace rtdvs {
 
+class JsonValue;
+
 class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
@@ -28,6 +30,11 @@ class TextTable {
   // Emits "csv,<col1>,<col2>,..." lines (header first). The prefix keeps CSV
   // greppable out of mixed stdout.
   void PrintCsv(std::ostream& out, const std::string& prefix = "csv") const;
+
+  // {"header": [...], "rows": [[...], ...]} with every cell a string —
+  // formatting already happened at AddRow time, and re-parsing cells would
+  // lose the bench's intended precision. Used by the bench --json emitters.
+  JsonValue ToJson() const;
 
   size_t num_rows() const { return rows_.size(); }
 

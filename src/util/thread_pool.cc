@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -39,7 +39,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // exceptions are captured by the packaged_task wrapper
+    const auto started = std::chrono::steady_clock::now();
+    task.fn();  // exceptions are captured by the packaged_task wrapper
+    if (observer_) {
+      using Ms = std::chrono::duration<double, std::milli>;
+      const auto finished = std::chrono::steady_clock::now();
+      observer_(Ms(started - task.enqueued).count(),
+                Ms(finished - started).count());
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -28,6 +29,17 @@ class ThreadPool {
   // Starts `num_threads` workers; values < 1 are clamped to 1.
   explicit ThreadPool(int num_threads);
 
+  // Per-task timing hook: called once per completed task, from the worker
+  // thread that ran it, with the time the task spent queued and the time it
+  // spent executing. Set it before the first Submit and do not change it
+  // while tasks are in flight; the observer itself must be thread-safe
+  // (concurrent workers finish concurrently). Used by the sweep engine to
+  // build SweepResult::profile.
+  void SetTaskObserver(
+      std::function<void(double queue_wait_ms, double run_ms)> observer) {
+    observer_ = std::move(observer);
+  }
+
   // Drains nothing: joins after finishing every task already submitted.
   ~ThreadPool();
 
@@ -43,7 +55,7 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.push({[task] { (*task)(); }, std::chrono::steady_clock::now()});
     }
     wake_.notify_one();
     return future;
@@ -56,13 +68,19 @@ class ThreadPool {
   static int DefaultNumThreads();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  std::function<void(double, double)> observer_;
 };
 
 }  // namespace rtdvs

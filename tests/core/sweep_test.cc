@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+
+#include "src/util/json.h"
 
 namespace rtdvs {
 namespace {
@@ -111,7 +114,17 @@ TEST(UtilizationSweep, ParallelRunBitIdenticalToSerial) {
                 q.cells[p].normalized_energy.variance());
       EXPECT_EQ(s.cells[p].deadline_misses, q.cells[p].deadline_misses);
       EXPECT_EQ(s.cells[p].tasksets_with_misses, q.cells[p].tasksets_with_misses);
+      // Policy decision counters merge in serial grid order, so even their
+      // double-valued fields must agree bit for bit across --jobs values.
+      EXPECT_EQ(s.cells[p].counters, q.cells[p].counters);
     }
+  }
+  // The profile's merged per-policy counters are serial-order folds of the
+  // cells, so they are bit-identical too (timings of course differ).
+  ASSERT_EQ(serial.profile.policy_counters.size(),
+            parallel.profile.policy_counters.size());
+  for (size_t p = 0; p < serial.profile.policy_counters.size(); ++p) {
+    EXPECT_EQ(serial.profile.policy_counters[p], parallel.profile.policy_counters[p]);
   }
   // And the rendered artifacts agree byte for byte.
   std::ostringstream csv_serial, csv_parallel;
@@ -223,6 +236,87 @@ TEST(UtilizationSweep, UUniFastGeneratorAlsoWorks) {
   SweepResult result = sweep.Run();
   ASSERT_EQ(result.rows.size(), 1u);
   EXPECT_LE(result.rows[0].cells.back().normalized_energy.mean(), 1.0 + 1e-9);
+}
+
+TEST(UtilizationSweep, RecordsPolicyCountersAndProfile) {
+  SweepOptions options = SmallOptions();
+  SweepResult result = UtilizationSweep(options).Run();
+  // The dynamic policies decide constantly; their counters cannot be empty.
+  const auto& ids = result.options.policy_ids;
+  for (const auto& row : result.rows) {
+    for (size_t p = 0; p < row.cells.size(); ++p) {
+      if (ids[p] == "cc_edf" || ids[p] == "la_edf") {
+        EXPECT_GT(row.cells[p].counters.speed_change_requests, 0) << ids[p];
+        EXPECT_GT(row.cells[p].counters.utilization_samples, 0) << ids[p];
+      }
+      if (ids[p] == "la_edf") {
+        EXPECT_GT(row.cells[p].counters.deferral_decisions, 0);
+      }
+    }
+  }
+  // Profile: 2 utilizations x 4 task sets = 8 shards, each running every
+  // policy; edf is in the default list, so the bound reuses its run.
+  EXPECT_EQ(result.profile.shards, 8);
+  EXPECT_EQ(result.profile.simulations,
+            8 * static_cast<int64_t>(ids.size()));
+  EXPECT_GT(result.profile.max_shard_ms, 0.0);
+  EXPECT_GE(result.profile.p95_shard_ms, result.profile.p50_shard_ms);
+  EXPECT_GE(result.profile.max_shard_ms, result.profile.p95_shard_ms);
+  EXPECT_GT(result.profile.shards_per_sec, 0.0);
+  EXPECT_GT(result.profile.sims_per_sec, 0.0);
+  ASSERT_EQ(result.profile.policy_counters.size(), ids.size());
+  // The profile totals are the fold of every cell.
+  for (size_t p = 0; p < ids.size(); ++p) {
+    PolicyCounters expected;
+    for (const auto& row : result.rows) {
+      expected.MergeFrom(row.cells[p].counters);
+    }
+    EXPECT_EQ(result.profile.policy_counters[p], expected) << ids[p];
+  }
+}
+
+TEST(UtilizationSweep, ProgressCallbackSeesEveryShardInOrder) {
+  SweepOptions options = SmallOptions();
+  options.jobs = 2;
+  std::atomic<int64_t> calls{0};
+  int64_t last_done = 0;
+  int64_t reported_total = 0;
+  // The harness serializes progress calls under its merge mutex, so plain
+  // captures are safe.
+  options.progress = [&](int64_t done, int64_t total) {
+    ++calls;
+    EXPECT_EQ(done, last_done + 1);
+    last_done = done;
+    reported_total = total;
+  };
+  SweepResult result = UtilizationSweep(options).Run();
+  EXPECT_EQ(calls.load(), result.profile.shards);
+  EXPECT_EQ(last_done, result.profile.shards);
+  EXPECT_EQ(reported_total, result.profile.shards);
+}
+
+TEST(SweepResultToJson, EmitsValidatableDocument) {
+  SweepOptions options = SmallOptions();
+  options.policy_ids = {"edf", "cc_edf"};
+  SweepResult result = UtilizationSweep(options).Run();
+  JsonValue doc = SweepResultToJson(result);
+  // Round-trips through the strict parser.
+  auto parsed = JsonValue::Parse(doc.ToString(1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(doc.Get("config").Get("tasksets_per_point").AsInt(), 4);
+  const JsonValue& rows = doc.Get("rows");
+  ASSERT_EQ(rows.size(), 2u);
+  const JsonValue& first = rows.at(0);
+  EXPECT_DOUBLE_EQ(first.Get("utilization").AsDouble(), 0.3);
+  const JsonValue& policies = first.Get("policies");
+  ASSERT_EQ(policies.size(), 2u);
+  EXPECT_EQ(policies.at(0).Get("id").AsString(), "edf");
+  EXPECT_EQ(policies.at(1).Get("id").AsString(), "cc_edf");
+  // Counters surface with their exact values.
+  EXPECT_EQ(policies.at(1).Get("counters").Get("speed_change_requests").AsInt(),
+            result.rows[0].cells[1].counters.speed_change_requests);
+  EXPECT_EQ(doc.Get("profile").Get("shards").AsInt(), result.profile.shards);
+  EXPECT_EQ(doc.Get("audit_violations").AsInt(), 0);
 }
 
 TEST(DefaultUtilizationGrid, TwentyPointsFrom5To100Percent) {

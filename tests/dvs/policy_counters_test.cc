@@ -1,0 +1,148 @@
+// PolicyCounters: the decision telemetry every DvsPolicy records. These
+// tests pin the struct arithmetic and the per-policy semantics — which
+// counters each algorithm is supposed to move on the paper's worked example.
+#include "src/dvs/policy_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/task.h"
+#include "src/sim/simulator.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(PolicyCounters, MergeAddsFieldwise) {
+  PolicyCounters a;
+  a.speed_change_requests = 3;
+  a.speed_transitions = 2;
+  a.slack_completions = 1;
+  a.slack_reclaimed_ms = 0.5;
+  a.utilization_samples = 4;
+  a.utilization_sum = 2.0;
+  PolicyCounters b;
+  b.speed_change_requests = 10;
+  b.deferral_decisions = 7;
+  b.work_deferred_ms = 1.25;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.speed_change_requests, 13);
+  EXPECT_EQ(a.speed_transitions, 2);
+  EXPECT_EQ(a.slack_completions, 1);
+  EXPECT_DOUBLE_EQ(a.slack_reclaimed_ms, 0.5);
+  EXPECT_EQ(a.deferral_decisions, 7);
+  EXPECT_DOUBLE_EQ(a.work_deferred_ms, 1.25);
+  EXPECT_EQ(a.utilization_samples, 4);
+  EXPECT_DOUBLE_EQ(a.utilization_sum, 2.0);
+}
+
+TEST(PolicyCounters, DiffSinceInvertsMerge) {
+  PolicyCounters base;
+  base.speed_change_requests = 5;
+  base.slack_reclaimed_ms = 1.5;
+  PolicyCounters total = base;
+  PolicyCounters delta;
+  delta.speed_change_requests = 2;
+  delta.slack_reclaimed_ms = 0.25;
+  delta.deferral_decisions = 1;
+  total.MergeFrom(delta);
+  EXPECT_EQ(total.DiffSince(base), delta);
+  EXPECT_EQ(total.DiffSince(PolicyCounters{}), total);
+}
+
+std::unique_ptr<ExecTimeModel> Table3Model() {
+  return std::make_unique<TableFractionModel>(std::vector<std::vector<double>>{
+      {2.0 / 3.0, 1.0 / 3.0}, {1.0 / 3.0, 1.0 / 3.0}, {1.0, 1.0}});
+}
+
+SimResult RunExample(DvsPolicy& policy) {
+  TaskSet tasks = TaskSet::PaperExample();
+  auto model = Table3Model();
+  SimOptions options;
+  options.horizon_ms = 16.0;
+  return RunSimulation(tasks, MachineSpec::Machine0(), policy, *model, options);
+}
+
+TEST(PolicyCounters, CcEdfRecordsSlackAndUtilizationSamples) {
+  auto policy = MakePolicy("cc_edf");
+  SimResult result = RunExample(*policy);
+  const PolicyCounters& c = result.policy_counters;
+  // Every scheduling point re-selects a frequency...
+  EXPECT_GT(c.speed_change_requests, 0);
+  // ...but only some requests actually change the operating point, and the
+  // simulator counts exactly those as speed switches.
+  EXPECT_GT(c.speed_transitions, 0);
+  EXPECT_LE(c.speed_transitions, c.speed_change_requests);
+  EXPECT_EQ(c.speed_transitions, result.speed_switches);
+  // Table 3: T1's first invocation uses 2 of C=3, T2 uses 1 of 3 — slack
+  // is reclaimed at completions.
+  EXPECT_GT(c.slack_completions, 0);
+  EXPECT_GT(c.slack_reclaimed_ms, 0.0);
+  EXPECT_GT(c.utilization_samples, 0);
+  EXPECT_GT(c.utilization_sum, 0.0);
+  // ccEDF never defers.
+  EXPECT_EQ(c.deferral_decisions, 0);
+  EXPECT_DOUBLE_EQ(c.work_deferred_ms, 0.0);
+}
+
+TEST(PolicyCounters, LaEdfRecordsDeferralDecisions) {
+  auto policy = MakePolicy("la_edf");
+  SimResult result = RunExample(*policy);
+  const PolicyCounters& c = result.policy_counters;
+  EXPECT_GT(c.deferral_decisions, 0);
+  // The worked example defers real work past upcoming deadlines (that is
+  // the point of Figure 7).
+  EXPECT_GT(c.work_deferred_ms, 0.0);
+  EXPECT_EQ(c.speed_transitions, result.speed_switches);
+}
+
+TEST(PolicyCounters, CcRmReclaimsSlack) {
+  auto policy = MakePolicy("cc_rm");
+  SimResult result = RunExample(*policy);
+  const PolicyCounters& c = result.policy_counters;
+  EXPECT_GT(c.slack_completions, 0);
+  EXPECT_GT(c.slack_reclaimed_ms, 0.0);
+  EXPECT_EQ(c.deferral_decisions, 0);
+  EXPECT_EQ(c.speed_transitions, result.speed_switches);
+}
+
+TEST(PolicyCounters, PlainEdfMakesNoDvsDecisions) {
+  auto policy = MakePolicy("edf");
+  SimResult result = RunExample(*policy);
+  const PolicyCounters& c = result.policy_counters;
+  // OnStart pins max speed once; nothing else.
+  EXPECT_LE(c.speed_change_requests, 1);
+  EXPECT_EQ(c.slack_completions, 0);
+  EXPECT_EQ(c.deferral_decisions, 0);
+  EXPECT_EQ(c.utilization_samples, 0);
+}
+
+// Policies are reused across runs (the sweep harness does); SimResult must
+// report the per-run delta, not the policy's lifetime totals.
+TEST(PolicyCounters, SimResultReportsPerRunDelta) {
+  auto policy = MakePolicy("cc_edf");
+  SimResult first = RunExample(*policy);
+  SimResult second = RunExample(*policy);
+  const PolicyCounters& f = first.policy_counters;
+  const PolicyCounters& s = second.policy_counters;
+  EXPECT_EQ(s.speed_change_requests, f.speed_change_requests);
+  EXPECT_EQ(s.speed_transitions, f.speed_transitions);
+  EXPECT_EQ(s.slack_completions, f.slack_completions);
+  EXPECT_EQ(s.deferral_decisions, f.deferral_decisions);
+  EXPECT_EQ(s.utilization_samples, f.utilization_samples);
+  // Double fields diff as (a+b)-a, which rounds — near, not bit-equal.
+  EXPECT_NEAR(s.slack_reclaimed_ms, f.slack_reclaimed_ms,
+              1e-9 * (1.0 + f.slack_reclaimed_ms));
+  EXPECT_NEAR(s.utilization_sum, f.utilization_sum,
+              1e-9 * (1.0 + f.utilization_sum));
+  EXPECT_GT(first.policy_counters.speed_change_requests, 0);
+  // The policy's own counters kept accumulating underneath.
+  EXPECT_EQ(policy->counters().speed_change_requests,
+            2 * first.policy_counters.speed_change_requests);
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -62,6 +62,45 @@ TEST(SimAudit, CleanRunPassesEveryCheck) {
   EXPECT_EQ(report.Summary(), "audit: OK (6 checks, 0 skipped)");
 }
 
+TEST(SimAudit, UnrecordedTraceSkipsWithReason) {
+  AuditedRun run;
+  run.tasks = TaskSet::PaperExample();
+  run.options.horizon_ms = 500.0;
+  run.options.record_trace = false;
+  auto policy = MakePolicy("cc_edf");
+  run.guarantees = policy->guarantees_deadlines();
+  UniformFractionModel model(0.2, 1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  const AuditReport& report = run.result.audit;
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.checks_skipped, 1);
+  ASSERT_EQ(report.skip_reasons.size(), 1u);
+  EXPECT_NE(report.skip_reasons[0].find("no trace recorded"),
+            std::string::npos);
+  // The summary line surfaces the reason, so audit-off-by-omission is
+  // visible rather than silently counted as a pass.
+  EXPECT_NE(report.Summary().find("no trace recorded"), std::string::npos);
+}
+
+TEST(SimAudit, TruncatedTraceSkipsReintegrationWithReason) {
+  AuditedRun run;
+  run.tasks = TaskSet::PaperExample();
+  run.options.horizon_ms = 500.0;
+  run.options.record_trace = true;
+  run.options.max_trace_segments = 8;  // force truncation
+  auto policy = MakePolicy("cc_edf");
+  run.guarantees = policy->guarantees_deadlines();
+  UniformFractionModel model(0.2, 1.0);
+  run.result = RunSimulation(run.tasks, run.machine, *policy, model, run.options);
+  ASSERT_TRUE(run.result.trace.truncated());
+  const AuditReport& report = run.result.audit;
+  // Truncation downgrades the trace check to skipped — never a failure.
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.checks_skipped, 1);
+  ASSERT_EQ(report.skip_reasons.size(), 1u);
+  EXPECT_NE(report.skip_reasons[0].find("truncated"), std::string::npos);
+}
+
 TEST(SimAudit, AuditOffLeavesReportUnaudited) {
   AuditedRun run;
   run.tasks = TaskSet::PaperExample();

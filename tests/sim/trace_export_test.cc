@@ -1,0 +1,235 @@
+// Golden test for the Chrome-trace exporter, on the paper's worked example
+// (Table 2 task set, Table 3 execution times, machine 0, 16 ms). The
+// invariant that makes the exported trace trustworthy: re-integrating the
+// frequency counter track over the execution slices reproduces the
+// simulator's reported exec_energy exactly — the trace is the energy
+// accounting, not a lossy visualization of it.
+#include "src/sim/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/policy.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/task.h"
+#include "src/sim/simulator.h"
+#include "src/util/json.h"
+
+namespace rtdvs {
+namespace {
+
+std::unique_ptr<ExecTimeModel> Table3Model() {
+  return std::make_unique<TableFractionModel>(std::vector<std::vector<double>>{
+      {2.0 / 3.0, 1.0 / 3.0}, {1.0 / 3.0, 1.0 / 3.0}, {1.0, 1.0}});
+}
+
+struct Exported {
+  SimResult result;
+  JsonValue doc;
+};
+
+Exported RunAndExport(const std::string& policy_id) {
+  TaskSet tasks = TaskSet::PaperExample();
+  auto policy = MakePolicy(policy_id);
+  auto model = Table3Model();
+  SimOptions options;
+  options.horizon_ms = 16.0;
+  options.record_trace = true;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, *model, options);
+  JsonValue doc = ExportChromeTrace(result, tasks, options);
+  return {std::move(result), std::move(doc)};
+}
+
+TEST(TraceExport, DocumentHasChromeTraceShape) {
+  Exported exported = RunAndExport("cc_edf");
+  const JsonValue& doc = exported.doc;
+  EXPECT_EQ(doc.Get("displayTimeUnit").AsString(), "ms");
+  const JsonValue& events = doc.Get("traceEvents");
+  ASSERT_GT(events.size(), 0u);
+  bool saw_metadata = false, saw_slice = false, saw_counter = false,
+       saw_instant = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    const std::string& ph = event.Get("ph").AsString();
+    ASSERT_NE(event.Find("pid"), nullptr);
+    if (ph == "M") {
+      saw_metadata = true;
+    } else if (ph == "X") {
+      saw_slice = true;
+      EXPECT_GE(event.Get("dur").AsDouble(), 0.0);
+    } else if (ph == "C") {
+      saw_counter = true;
+      EXPECT_EQ(event.Get("name").AsString(), "frequency");
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(event.Get("s").AsString(), "t");
+    } else {
+      FAIL() << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_TRUE(saw_slice);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_instant);
+
+  const JsonValue& other = doc.Get("otherData");
+  EXPECT_EQ(other.Get("policy").AsString(), exported.result.policy_name);
+  EXPECT_DOUBLE_EQ(other.Get("horizon_ms").AsDouble(), 16.0);
+  EXPECT_FALSE(other.Get("truncated").AsBool());
+}
+
+TEST(TraceExport, NamesEveryTaskTrackAndTheCpuTrack) {
+  Exported exported = RunAndExport("la_edf");
+  const JsonValue& events = exported.doc.Get("traceEvents");
+  std::vector<std::string> thread_names;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.Get("ph").AsString() == "M" &&
+        event.Get("name").AsString() == "thread_name") {
+      thread_names.push_back(event.Get("args").Get("name").AsString());
+    }
+  }
+  // CPU track + the three Table-2 tasks.
+  ASSERT_EQ(thread_names.size(), 4u);
+  EXPECT_EQ(thread_names[0], "cpu (idle/switch)");
+  EXPECT_EQ(thread_names[1], "T1 (C=3 T=8)");
+  EXPECT_EQ(thread_names[2], "T2 (C=3 T=10)");
+  EXPECT_EQ(thread_names[3], "T3 (C=1 T=14)");
+}
+
+// The acceptance criterion of the exporter: walk the frequency counter
+// track as a step function, integrate work over the execution slices with
+// the CMOS V^2 energy law, and land exactly on SimResult::exec_energy.
+void CheckReintegration(const std::string& policy_id) {
+  SCOPED_TRACE(policy_id);
+  Exported exported = RunAndExport(policy_id);
+  const JsonValue& doc = exported.doc;
+  const double coefficient =
+      doc.Get("otherData").Get("energy_coefficient").AsDouble();
+  const JsonValue& events = doc.Get("traceEvents");
+
+  // Counter steps, in emission order (= ascending ts).
+  struct Step {
+    double ts, frequency, voltage;
+  };
+  std::vector<Step> steps;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.Get("ph").AsString() == "C") {
+      steps.push_back({event.Get("ts").AsDouble(),
+                       event.Get("args").Get("frequency").AsDouble(),
+                       event.Get("args").Get("voltage").AsDouble()});
+    }
+  }
+  ASSERT_FALSE(steps.empty());
+
+  double integrated = 0.0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.Get("ph").AsString() != "X" ||
+        event.Get("tid").AsInt() == 0) {  // tid 0: idle/switch track
+      continue;
+    }
+    const double ts = event.Get("ts").AsDouble();
+    // The counter value in effect at this slice's start.
+    const Step* current = nullptr;
+    for (const Step& step : steps) {
+      if (step.ts <= ts + 1e-9) {
+        current = &step;
+      }
+    }
+    ASSERT_NE(current, nullptr);
+    // The slice's own args agree with the counter track...
+    EXPECT_EQ(event.Get("args").Get("frequency").AsDouble(), current->frequency);
+    EXPECT_EQ(event.Get("args").Get("voltage").AsDouble(), current->voltage);
+    // ...and integrating dur * f * V^2 reproduces the slice energy.
+    const double dur_ms = event.Get("dur").AsDouble() / 1000.0;
+    const double work = dur_ms * current->frequency;
+    const double energy = work * current->voltage * current->voltage * coefficient;
+    EXPECT_NEAR(event.Get("args").Get("energy").AsDouble(), energy,
+                1e-12 * (1.0 + energy));
+    integrated += energy;
+  }
+  EXPECT_NEAR(integrated, exported.result.exec_energy,
+              1e-9 * (1.0 + exported.result.exec_energy));
+}
+
+TEST(TraceExport, FrequencyTrackReintegratesToExecEnergy) {
+  for (const auto& id : AllPaperPolicyIds()) {
+    CheckReintegration(id);
+  }
+}
+
+TEST(TraceExport, IdleSlicesSumToIdleEnergy) {
+  // Nonzero idle level so idle slices carry real energy.
+  TaskSet tasks = TaskSet::PaperExample();
+  auto policy = MakePolicy("cc_edf");
+  auto model = Table3Model();
+  SimOptions options;
+  options.horizon_ms = 16.0;
+  options.idle_level = 0.1;
+  options.record_trace = true;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, *model, options);
+  JsonValue doc = ExportChromeTrace(result, tasks, options);
+  const JsonValue& events = doc.Get("traceEvents");
+  double idle_energy = 0.0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.Get("ph").AsString() == "X" &&
+        event.Get("name").AsString() == "idle") {
+      idle_energy += event.Get("args").Get("energy").AsDouble();
+    }
+  }
+  EXPECT_NEAR(idle_energy, result.idle_energy, 1e-9 * (1.0 + result.idle_energy));
+}
+
+TEST(TraceExport, TruncatedTraceIsFlagged) {
+  TaskSet tasks = TaskSet::PaperExample();
+  auto policy = MakePolicy("edf");
+  auto model = Table3Model();
+  SimOptions options;
+  options.horizon_ms = 160.0;
+  options.record_trace = true;
+  options.max_trace_segments = 4;  // force truncation
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, *model, options);
+  ASSERT_TRUE(result.trace.truncated());
+  JsonValue doc = ExportChromeTrace(result, tasks, options);
+  EXPECT_TRUE(doc.Get("otherData").Get("truncated").AsBool());
+  // The exporter reports how much was actually recorded (the event list can
+  // hit the capacity limit before the segment list does).
+  EXPECT_EQ(doc.Get("otherData").Get("segments").AsInt(),
+            static_cast<int64_t>(result.trace.segments().size()));
+  EXPECT_LE(doc.Get("otherData").Get("segments").AsInt(), 4);
+}
+
+TEST(TraceExport, WriteChromeTraceRoundTrips) {
+  TaskSet tasks = TaskSet::PaperExample();
+  auto policy = MakePolicy("cc_edf");
+  auto model = Table3Model();
+  SimOptions options;
+  options.horizon_ms = 16.0;
+  options.record_trace = true;
+  SimResult result =
+      RunSimulation(tasks, MachineSpec::Machine0(), *policy, *model, options);
+  std::string path = testing::TempDir() + "/trace_export_test.json";
+  ASSERT_TRUE(WriteChromeTrace(result, tasks, options, path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ToString(), ExportChromeTrace(result, tasks, options).ToString());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtdvs

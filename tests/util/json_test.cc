@@ -1,0 +1,126 @@
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rtdvs {
+namespace {
+
+TEST(JsonValue, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_EQ(JsonValue(true).AsBool(), true);
+  EXPECT_EQ(JsonValue(42).AsInt(), 42);
+  EXPECT_EQ(JsonValue(int64_t{-7}).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue(3).AsDouble(), 3.0);  // int promotes
+  EXPECT_EQ(JsonValue("hi").AsString(), "hi");
+}
+
+TEST(JsonValue, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", 1);
+  obj.Set("apple", 2);
+  obj.Set("mango", 3);
+  EXPECT_EQ(obj.ToString(), R"({"zebra":1,"apple":2,"mango":3})");
+  // Overwrite keeps the original position.
+  obj.Set("zebra", 9);
+  EXPECT_EQ(obj.ToString(), R"({"zebra":9,"apple":2,"mango":3})");
+  EXPECT_EQ(obj.Get("apple").AsInt(), 2);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonValue, ArrayAppendAndAt) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append("two");
+  arr.Append(JsonValue::Object()).Set("k", 3);
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(0).AsInt(), 1);
+  EXPECT_EQ(arr.at(1).AsString(), "two");
+  EXPECT_EQ(arr.at(2).Get("k").AsInt(), 3);
+}
+
+TEST(JsonValue, StringEscaping) {
+  JsonValue v("a\"b\\c\n\t\x01");
+  EXPECT_EQ(v.ToString(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  // And the escape round-trips through the parser.
+  auto back = JsonValue::Parse(v.ToString());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->AsString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonValue, DoublesRoundTripShortest) {
+  JsonValue v(0.1);
+  auto back = JsonValue::Parse(v.ToString());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->AsDouble(), 0.1);
+  // Integral doubles still read back equal.
+  EXPECT_EQ(JsonValue::Parse(JsonValue(16.0).ToString())->AsDouble(), 16.0);
+}
+
+TEST(JsonValue, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(JsonValue::Parse("'single'").has_value());
+  EXPECT_FALSE(JsonValue::Parse("").has_value());
+}
+
+TEST(JsonValue, ParseAcceptsNestedDocument) {
+  auto doc = JsonValue::Parse(
+      R"({"a": [1, 2.5, true, null, "s"], "b": {"c": -3}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Get("a").size(), 5u);
+  EXPECT_TRUE(doc->Get("a").at(3).is_null());
+  EXPECT_EQ(doc->Get("b").Get("c").AsInt(), -3);
+}
+
+TEST(JsonValue, WriteRoundTripsByteStable) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", "sweep");
+  JsonValue& rows = doc.Set("rows", JsonValue::Array());
+  for (int i = 0; i < 3; ++i) {
+    JsonValue& row = rows.Append(JsonValue::Object());
+    row.Set("u", 0.1 * i);
+    row.Set("n", i);
+  }
+  std::string once = doc.ToString(1);
+  auto parsed = JsonValue::Parse(once);
+  ASSERT_TRUE(parsed.has_value());
+  // Emitting the parsed document reproduces the bytes: the premise of
+  // diffable BENCH_*.json artifacts.
+  EXPECT_EQ(parsed->ToString(1), once);
+}
+
+TEST(JsonValue, PrettyPrintIndents) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("k", JsonValue::Array()).Append(1);
+  EXPECT_EQ(doc.ToString(2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(WriteJsonFile, WritesParseableFileWithTrailingNewline) {
+  std::string path = testing::TempDir() + "/json_test_out.json";
+  JsonValue doc = JsonValue::Object();
+  doc.Set("x", 1);
+  ASSERT_TRUE(WriteJsonFile(doc, path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_TRUE(JsonValue::Parse(text).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(WriteJsonFile, FailsOnUnwritablePath) {
+  EXPECT_FALSE(WriteJsonFile(JsonValue::Object(), "/nonexistent-dir/x.json"));
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,136 @@
+#include "src/util/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/json.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("sim.runs");
+  EXPECT_EQ(c->value(), 0);
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5);
+  // Same name returns the same handle.
+  EXPECT_EQ(registry.GetCounter("sim.runs"), c);
+  registry.Increment("sim.runs", 2);
+  EXPECT_EQ(c->value(), 7);
+}
+
+TEST(Histogram, RecordsIntoInclusiveUpperEdges) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(1.0);    // first bucket: edge is inclusive
+  h.Record(5.0);    // second
+  h.Record(100.0);  // third
+  h.Record(1e6);    // overflow
+  EXPECT_EQ(h.count(), 4);
+  const auto& buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 1);
+  EXPECT_EQ(buckets[3], 1);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  EXPECT_DOUBLE_EQ(h.sum(), 1e6 + 106.0);
+}
+
+TEST(Histogram, PercentilesInterpolateAndClampToMax) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) {
+    h.Record(5.0 + (i % 3) * 10.0);  // ~uniform over three buckets
+  }
+  double p50 = h.ValueAtPercentile(50);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 30.0);
+  // Monotone in p.
+  EXPECT_LE(h.ValueAtPercentile(10), h.ValueAtPercentile(90));
+  // The overflow bucket reports the observed max, not infinity.
+  Histogram over({1.0});
+  over.Record(500.0);
+  EXPECT_DOUBLE_EQ(over.ValueAtPercentile(99), 500.0);
+  // Empty histogram: all zeros.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.ValueAtPercentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(Histogram, ExponentialBoundsGrowGeometrically) {
+  Histogram h = Histogram::Exponential(1.0, 2.0, 4);
+  ASSERT_EQ(h.bounds().size(), 4u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 2.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 4.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[3], 8.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.Record(0.5);
+  b.Record(1.5);
+  b.Record(9.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.sum(), 11.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_EQ(a.bucket_counts()[0], 1);
+  EXPECT_EQ(a.bucket_counts()[1], 1);
+  EXPECT_EQ(a.bucket_counts()[2], 1);
+}
+
+TEST(Snapshot, MergeAndDiffCounters) {
+  MetricsRegistry a;
+  a.Increment("x", 3);
+  a.Increment("y", 1);
+  MetricsRegistry b;
+  b.Increment("x", 2);
+  b.Increment("z", 5);
+
+  auto snap_a = a.TakeSnapshot();
+  auto snap_b = b.TakeSnapshot();
+  auto merged = snap_a;
+  merged.MergeFrom(snap_b);
+  EXPECT_EQ(merged.counters.at("x"), 5);
+  EXPECT_EQ(merged.counters.at("y"), 1);
+  EXPECT_EQ(merged.counters.at("z"), 5);
+
+  auto diff = merged.DiffFrom(snap_a);
+  EXPECT_EQ(diff.counters.at("x"), 2);
+  EXPECT_EQ(diff.counters.at("y"), 0);
+  EXPECT_EQ(diff.counters.at("z"), 5);
+
+  EXPECT_FALSE(snap_a.CountersEqual(snap_b));
+  EXPECT_TRUE(snap_a.CountersEqual(a.TakeSnapshot()));
+}
+
+TEST(Snapshot, ToJsonIsNameOrderedAndStable) {
+  MetricsRegistry registry;
+  registry.Increment("zeta", 1);
+  registry.Increment("alpha", 2);
+  registry.GetHistogram("lat", {1.0, 10.0})->Record(3.0);
+  auto snapshot = registry.TakeSnapshot();
+  JsonValue json = snapshot.ToJson();
+  // Counters come out in lexicographic order regardless of creation order.
+  const auto& counters = json.Get("counters");
+  ASSERT_EQ(counters.entries().size(), 2u);
+  EXPECT_EQ(counters.entries()[0].first, "alpha");
+  EXPECT_EQ(counters.entries()[1].first, "zeta");
+  const JsonValue& lat = json.Get("histograms").Get("lat");
+  EXPECT_EQ(lat.Get("count").AsInt(), 1);
+  EXPECT_DOUBLE_EQ(lat.Get("mean").AsDouble(), 3.0);
+  // Byte-stable across identical registries.
+  MetricsRegistry again;
+  again.Increment("alpha", 2);
+  again.Increment("zeta", 1);
+  again.GetHistogram("lat", {1.0, 10.0})->Record(3.0);
+  EXPECT_EQ(again.TakeSnapshot().ToJson().ToString(),
+            snapshot.ToJson().ToString());
+}
+
+}  // namespace
+}  // namespace rtdvs

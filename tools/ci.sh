@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI driver: plain build + full test suite, then the same suite under
 # ASan/UBSan, then the concurrency tests (thread pool, parallel sweep
-# harness, bench smokes) under TSan.
+# harness, bench smokes) under TSan, then every bench in --quick mode with
+# --json output validated against the rtdvs-bench-v1 schema.
 #
 #   tools/ci.sh              # all stages
-#   tools/ci.sh plain        # one stage: plain | asan-ubsan | tsan
+#   tools/ci.sh plain        # one stage: plain | asan-ubsan | tsan | bench-json
 #
 # Each stage builds into its own tree (build-ci-<stage>) so sanitizer flags
 # never leak between configurations. ctest labels: tier1 = fast unit suites,
@@ -53,18 +54,39 @@ stage_tsan() {
   TSAN_OPTIONS=halt_on_error=1 run_ctest build-ci-tsan -L threads
 }
 
+stage_bench_json() {
+  echo "=== stage: bench --quick --json, schema validation ==="
+  configure_and_build build-ci-plain
+  local out="build-ci-plain/bench-json"
+  mkdir -p "$out"
+  # Every bench binary must accept --quick --json=<path> and produce a
+  # document that validates as rtdvs-bench-v1. Globbing keeps this in sync
+  # with bench/CMakeLists.txt automatically.
+  local bench
+  for bench in build-ci-plain/bench/bench_*; do
+    [[ -f "$bench" && -x "$bench" ]] || continue
+    local name
+    name="$(basename "$bench")"
+    echo "--- $name --quick --json ---"
+    "$bench" --quick --json="$out/BENCH_${name#bench_}.json" >/dev/null
+  done
+  build-ci-plain/tools/rtdvs-json-check "$out"/BENCH_*.json
+}
+
 STAGE="${1:-all}"
 case "$STAGE" in
   plain) stage_plain ;;
   asan-ubsan) stage_asan_ubsan ;;
   tsan) stage_tsan ;;
+  bench-json) stage_bench_json ;;
   all)
     stage_plain
     stage_asan_ubsan
     stage_tsan
+    stage_bench_json
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|all]" >&2
+    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|bench-json|all]" >&2
     exit 1
     ;;
 esac

@@ -1,0 +1,169 @@
+// rtdvs-json-check: validate machine-readable output files.
+//
+//   ./rtdvs-json-check BENCH_fig09.json BENCH_table1.json ...
+//   ./rtdvs-json-check --kind=trace trace.json
+//
+// CI runs every bench with --quick --json and then this tool over the
+// results; a bench that emits malformed JSON or drifts from the documented
+// schema fails the build instead of silently producing undiffable artifacts.
+// Exit code: 0 when every file validates, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/flags.h"
+#include "src/util/json.h"
+
+namespace rtdvs {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// One complaint per defect, so a CI log pinpoints the drift directly.
+std::vector<std::string> CheckBenchDocument(const JsonValue& doc) {
+  std::vector<std::string> problems;
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind() != JsonValue::Kind::kString ||
+      schema->AsString() != "rtdvs-bench-v1") {
+    problems.push_back("missing or wrong \"schema\" (want \"rtdvs-bench-v1\")");
+  }
+  const JsonValue* bench = doc.Find("bench");
+  if (bench == nullptr || bench->kind() != JsonValue::Kind::kString ||
+      bench->AsString().empty()) {
+    problems.push_back("missing or empty \"bench\" name");
+  }
+  if (const JsonValue* config = doc.Find("config");
+      config == nullptr || config->kind() != JsonValue::Kind::kObject) {
+    problems.push_back("missing \"config\" object");
+  }
+  const JsonValue* sections = doc.Find("sections");
+  if (sections == nullptr || sections->kind() != JsonValue::Kind::kArray ||
+      sections->size() == 0) {
+    problems.push_back("missing or empty \"sections\" array");
+    return problems;
+  }
+  for (size_t i = 0; i < sections->size(); ++i) {
+    const JsonValue& section = sections->at(i);
+    if (section.kind() != JsonValue::Kind::kObject) {
+      problems.push_back("section " + std::to_string(i) + " is not an object");
+      continue;
+    }
+    const JsonValue* title = section.Find("title");
+    if (title == nullptr || title->kind() != JsonValue::Kind::kString ||
+        title->AsString().empty()) {
+      problems.push_back("section " + std::to_string(i) + " has no title");
+    }
+    const JsonValue* sweep = section.Find("sweep");
+    const JsonValue* table = section.Find("table");
+    const JsonValue* values = section.Find("values");
+    if (sweep == nullptr && table == nullptr && values == nullptr) {
+      problems.push_back("section " + std::to_string(i) +
+                         " carries none of sweep/table/values");
+      continue;
+    }
+    if (sweep != nullptr &&
+        (sweep->kind() != JsonValue::Kind::kObject ||
+         sweep->Find("rows") == nullptr || sweep->Find("config") == nullptr)) {
+      problems.push_back("section " + std::to_string(i) +
+                         " \"sweep\" lacks rows/config");
+    }
+    if (table != nullptr && (table->kind() != JsonValue::Kind::kObject ||
+                             table->Find("header") == nullptr ||
+                             table->Find("rows") == nullptr)) {
+      problems.push_back("section " + std::to_string(i) +
+                         " \"table\" lacks header/rows");
+    }
+    if (values != nullptr && values->kind() != JsonValue::Kind::kObject) {
+      problems.push_back("section " + std::to_string(i) +
+                         " \"values\" is not an object");
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> CheckTraceDocument(const JsonValue& doc) {
+  std::vector<std::string> problems;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || events->kind() != JsonValue::Kind::kArray) {
+    problems.push_back("missing \"traceEvents\" array");
+    return problems;
+  }
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->kind() != JsonValue::Kind::kString) {
+      problems.push_back("event " + std::to_string(i) + " has no \"ph\"");
+      break;  // one structural complaint is enough for a trace
+    }
+  }
+  const JsonValue* other = doc.Find("otherData");
+  if (other == nullptr || other->Find("truncated") == nullptr) {
+    problems.push_back("missing otherData.truncated flag");
+  }
+  return problems;
+}
+
+int Main(int argc, char** argv) {
+  std::string kind = "bench";
+  FlagSet flags(
+      "rtdvs-json-check: validate BENCH_*.json / trace JSON files.\n"
+      "usage: rtdvs-json-check [--kind=bench|trace] <file>...");
+  flags.AddString("kind", &kind, "document kind to validate: bench|trace");
+  flags.AllowPositional();
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (kind != "bench" && kind != "trace") {
+    std::fprintf(stderr, "error: --kind must be bench or trace\n");
+    return 1;
+  }
+  const std::vector<std::string>& paths = flags.positional();
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: no files given\n");
+    return 1;
+  }
+
+  int failures = 0;
+  for (const auto& path : paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "FAIL %s: cannot read\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    std::string error;
+    auto doc = JsonValue::Parse(text, &error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+    auto problems = kind == "bench" ? CheckBenchDocument(*doc)
+                                    : CheckTraceDocument(*doc);
+    if (problems.empty()) {
+      std::printf("ok   %s\n", path.c_str());
+    } else {
+      for (const auto& problem : problems) {
+        std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), problem.c_str());
+      }
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rtdvs
+
+int main(int argc, char** argv) { return rtdvs::Main(argc, argv); }

@@ -13,6 +13,7 @@
 #include "src/core/scenario.h"
 #include "src/dvs/policy.h"
 #include "src/sim/simulator.h"
+#include "src/sim/trace_export.h"
 #include "src/util/flags.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
@@ -20,11 +21,49 @@
 namespace rtdvs {
 namespace {
 
+// The task set the simulator actually ran: the scenario's tasks plus the
+// aperiodic server task when one is configured.
+TaskSet SimulatedTaskSet(const Scenario& scenario, const SimResult& result) {
+  TaskSet tasks = scenario.tasks;
+  if (result.server_task_id >= 0) {
+    tasks.AddTask({"server", scenario.server.period_ms,
+                   scenario.server.budget_ms, 0.0});
+  }
+  return tasks;
+}
+
+// "trace.json" + "cc_edf" -> "trace.cc_edf.json", so --all-policies writes
+// one Chrome trace per policy instead of overwriting a single file.
+std::string InsertPolicyIntoPath(const std::string& path, const std::string& id) {
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + id;
+  }
+  return path.substr(0, dot) + "." + id + path.substr(dot);
+}
+
 void PrintResult(const SimResult& result, const Scenario& scenario, double gantt_ms) {
   std::printf("%s\n", result.Summary().c_str());
   if (result.audit.audited) {
     std::printf("  %s\n", result.audit.Summary().c_str());
   }
+  const PolicyCounters& counters = result.policy_counters;
+  std::printf(
+      "  decisions: %lld speed requests (%lld transitions), slack reclaimed "
+      "%.2f ms over %lld completions, %lld deferrals (%.2f ms deferred), "
+      "mean utilization estimate %.3f over %lld samples\n",
+      static_cast<long long>(counters.speed_change_requests),
+      static_cast<long long>(counters.speed_transitions),
+      counters.slack_reclaimed_ms,
+      static_cast<long long>(counters.slack_completions),
+      static_cast<long long>(counters.deferral_decisions),
+      counters.work_deferred_ms,
+      counters.utilization_samples == 0
+          ? 0.0
+          : counters.utilization_sum /
+                static_cast<double>(counters.utilization_samples),
+      static_cast<long long>(counters.utilization_samples));
   if (result.server_task_id >= 0) {
     std::printf(
         "  aperiodic: %lld arrivals, %lld served, mean response %.2f ms, "
@@ -42,13 +81,9 @@ void PrintResult(const SimResult& result, const Scenario& scenario, double gantt
     }
   }
   if (gantt_ms > 0) {
-    // Append the server task to a display copy of the task set when needed.
-    TaskSet display = scenario.tasks;
-    if (result.server_task_id >= 0) {
-      display.AddTask({"server", scenario.server.period_ms, scenario.server.budget_ms,
-                       0.0});
-    }
-    std::printf("%s", result.trace.RenderGantt(display, 76, gantt_ms).c_str());
+    std::printf("%s", result.trace.RenderGantt(SimulatedTaskSet(scenario, result),
+                                               76, gantt_ms)
+                          .c_str());
   }
 }
 
@@ -63,6 +98,7 @@ int Main(int argc, char** argv) {
   bool abort_on_miss = false;
   bool audit = true;
   int64_t seed = 1;
+  std::string trace_out;
 
   FlagSet flags("rtdvs_sim: run a scenario file through the RT-DVS simulator.");
   flags.AddString("scenario", &scenario_path, "path to the scenario file (required)");
@@ -79,6 +115,11 @@ int Main(int argc, char** argv) {
                 "run SimAudit on each result (--no-audit disables); audit "
                 "violations make the exit code 3");
   flags.AddInt64("seed", &seed, "workload random seed");
+  flags.AddString("trace-out", &trace_out,
+                  "write the execution trace as Chrome trace-event JSON "
+                  "(open in ui.perfetto.dev or chrome://tracing); with "
+                  "--all-policies the policy id is inserted before the "
+                  "extension");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -113,7 +154,7 @@ int Main(int argc, char** argv) {
   options.switch_time_ms = switch_time_ms;
   options.miss_policy =
       abort_on_miss ? MissPolicy::kAbortJob : MissPolicy::kContinueLate;
-  options.record_trace = gantt_ms > 0;
+  options.record_trace = gantt_ms > 0 || !trace_out.empty();
   options.audit = audit;
   options.seed = static_cast<uint64_t>(seed);
   options.aperiodic = scenario.server;
@@ -127,6 +168,25 @@ int Main(int argc, char** argv) {
     SimResult result =
         RunSimulation(scenario.tasks, scenario.machine, *policy, *model, options);
     PrintResult(result, scenario, gantt_ms);
+    if (options.record_trace && result.trace.truncated()) {
+      std::fprintf(stderr,
+                   "warning: trace for %s truncated at %zu segments; the "
+                   "Gantt/export covers only a prefix of the run (raise "
+                   "SimOptions::max_trace_segments to capture more)\n",
+                   result.policy_name.c_str(), result.trace.segments().size());
+    }
+    if (!trace_out.empty()) {
+      const std::string path = ids.size() > 1
+                                   ? InsertPolicyIntoPath(trace_out, id)
+                                   : trace_out;
+      if (WriteChromeTrace(result, SimulatedTaskSet(scenario, result), options,
+                           path)) {
+        std::printf("  trace written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+        exit_code = 1;
+      }
+    }
     if (result.deadline_misses > 0 && id != "interval" && id != "stat_edf") {
       exit_code = 2;  // hard policies missing deadlines is reportable
     }

@@ -12,6 +12,7 @@
 #include "src/core/sweep.h"
 #include "src/dvs/policy.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 #include "src/util/strings.h"
 
 namespace rtdvs {
@@ -62,6 +63,8 @@ int Main(int argc, char** argv) {
   bool uunifast = false;
   bool misses = false;
   bool audit = true;
+  bool progress = false;
+  std::string json_path;
 
   FlagSet flags("rtdvs-sweep: custom energy-vs-utilization sweeps.");
   flags.AddString("policies", &policies, "comma-separated policy ids");
@@ -86,6 +89,11 @@ int Main(int argc, char** argv) {
   flags.AddBool("audit", &audit,
                 "run SimAudit in every shard (--no-audit disables); audit "
                 "violations make the exit code 3");
+  flags.AddBool("progress", &progress,
+                "live progress line on stderr (shards done, elapsed, ETA)");
+  flags.AddString("json", &json_path,
+                  "write the full SweepResult (rows, policy counters, "
+                  "profile) as JSON to this path");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -124,6 +132,9 @@ int Main(int argc, char** argv) {
   options.seed = static_cast<uint64_t>(seed);
   options.jobs = static_cast<int>(jobs);
   options.audit = audit;
+  if (progress) {
+    options.progress = MakeStderrProgress();
+  }
 
   UtilizationSweep sweep(options);
   SweepResult result = sweep.Run();
@@ -152,6 +163,20 @@ int Main(int argc, char** argv) {
   std::cout << StrFormat("elapsed: %.0f ms wall, %.0f ms cpu (jobs=%d)\n",
                          result.elapsed_wall_ms, result.elapsed_cpu_ms,
                          result.options.jobs);
+  std::cout << StrFormat(
+      "profile: %lld shards (%lld sims), shard p50 %.2f ms p95 %.2f ms, "
+      "%.0f sims/s\n",
+      static_cast<long long>(result.profile.shards),
+      static_cast<long long>(result.profile.simulations),
+      result.profile.p50_shard_ms, result.profile.p95_shard_ms,
+      result.profile.sims_per_sec);
+  if (!json_path.empty()) {
+    if (!WriteJsonFile(SweepResultToJson(result), json_path)) {
+      std::fprintf(stderr, "error: cannot write JSON to %s\n", json_path.c_str());
+      return 1;
+    }
+    std::cout << "json written to " << json_path << "\n";
+  }
   return result.audit_violations > 0 ? 3 : 0;
 }
 
