@@ -1,0 +1,458 @@
+#include "src/sim/reference_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "src/cpu/lower_bound.h"
+#include "src/util/check.h"
+#include "src/util/time_eps.h"
+
+namespace rtdvs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The reference's own job record. Mirrors the semantics of rt/job.h but is
+// deliberately a separate type so the engine cannot accidentally share
+// helper logic with production code.
+struct RefJob {
+  int task_id = -1;
+  int64_t invocation = 0;
+  double release_ms = 0;
+  double deadline_ms = 0;
+  double wcet_work = 0;
+  double actual_work = 0;
+  double executed_work = 0;
+  bool finished = false;
+  bool missed = false;
+};
+
+// Minimal SpeedController: tracks the current point, counts transitions, and
+// records the end of the mandatory halt window.
+class RefSpeed : public SpeedController {
+ public:
+  RefSpeed(const MachineSpec* machine, const double* now, double switch_time_ms,
+           int64_t* switches)
+      : machine_(machine),
+        now_(now),
+        switch_time_ms_(switch_time_ms),
+        switches_(switches),
+        point_(machine->max_point()) {}
+
+  void SetOperatingPoint(const OperatingPoint& point) override {
+    machine_->IndexOf(point);  // aborts if the policy invented a point
+    if (point == point_) {
+      return;
+    }
+    point_ = point;
+    *switches_ += 1;
+    if (switch_time_ms_ > 0) {
+      blocked_until_ = std::max(blocked_until_, *now_ + switch_time_ms_);
+    }
+  }
+
+  const OperatingPoint& current() const override { return point_; }
+  double blocked_until() const { return blocked_until_; }
+
+ private:
+  const MachineSpec* machine_;
+  const double* now_;
+  double switch_time_ms_;
+  int64_t* switches_;
+  OperatingPoint point_;
+  double blocked_until_ = 0;
+};
+
+// The whole engine state lives in one struct so every helper can recompute
+// whatever it needs from scratch.
+struct RefEngine {
+  const TaskSet& tasks;
+  const MachineSpec& machine;
+  DvsPolicy& policy;
+  ExecTimeModel& exec_model;
+  const SimOptions& options;
+  const ReferenceFaults& faults;
+
+  std::vector<double> next_release;
+  std::vector<int64_t> next_invocation;
+  std::vector<double> cumulative_executed;
+  std::vector<double> last_actual_work;
+  std::vector<RefJob> jobs;  // creation order; finished jobs pruned per event
+  Pcg32 rng;
+  double now = 0;
+  SimResult result;
+
+  RefEngine(const TaskSet& tasks_in, const MachineSpec& machine_in,
+            DvsPolicy& policy_in, ExecTimeModel& exec_model_in,
+            const SimOptions& options_in, const ReferenceFaults& faults_in)
+      : tasks(tasks_in),
+        machine(machine_in),
+        policy(policy_in),
+        exec_model(exec_model_in),
+        options(options_in),
+        faults(faults_in),
+        rng(options_in.seed) {}
+
+  int num_tasks() const { return tasks.size(); }
+
+  // --- Ready queue, recomputed from scratch: sort every unfinished job by
+  // the scheduler's priority order and take the front. ---
+  // EDF rank: (absolute deadline, task id, release). RM rank: (period,
+  // task id, release). Returns -1 when nothing is runnable.
+  int PickJobIndex() const {
+    std::vector<int> ready;
+    for (int i = 0; i < static_cast<int>(jobs.size()); ++i) {
+      if (!jobs[static_cast<size_t>(i)].finished) {
+        ready.push_back(i);
+      }
+    }
+    if (ready.empty()) {
+      return -1;
+    }
+    const bool edf = policy.scheduler_kind() == SchedulerKind::kEdf;
+    std::stable_sort(ready.begin(), ready.end(), [&](int ia, int ib) {
+      const RefJob& a = jobs[static_cast<size_t>(ia)];
+      const RefJob& b = jobs[static_cast<size_t>(ib)];
+      double ka = edf ? a.deadline_ms : tasks.task(a.task_id).period_ms;
+      double kb = edf ? b.deadline_ms : tasks.task(b.task_id).period_ms;
+      if (ka != kb) {
+        return ka < kb;
+      }
+      if (a.task_id != b.task_id) {
+        return a.task_id < b.task_id;
+      }
+      return a.release_ms < b.release_ms;
+    });
+    return ready.front();
+  }
+
+  // --- Policy context, recomputed from scratch at every call. ---
+  PolicyContext BuildContext() const {
+    PolicyContext ctx;
+    ctx.now_ms = now;
+    ctx.tasks = &tasks;
+    ctx.machine = &machine;
+    ctx.cumulative_busy_ms = result.busy_ms;
+    ctx.cumulative_idle_ms = result.idle_ms;
+    ctx.cumulative_work = result.total_work_executed;
+    ctx.views.resize(static_cast<size_t>(num_tasks()));
+    for (int id = 0; id < num_tasks(); ++id) {
+      auto& view = ctx.views[static_cast<size_t>(id)];
+      view.has_active_job = false;
+      view.next_deadline_ms = next_release[static_cast<size_t>(id)];
+      view.executed_in_invocation = 0;
+      view.worst_case_remaining = 0;
+      view.cumulative_executed = cumulative_executed[static_cast<size_t>(id)];
+      view.last_actual_work = last_actual_work[static_cast<size_t>(id)];
+    }
+    // The "current invocation" of a task is its earliest-released unfinished
+    // job.
+    std::vector<double> chosen_release(static_cast<size_t>(num_tasks()), kInf);
+    for (const RefJob& job : jobs) {
+      if (job.finished) {
+        continue;
+      }
+      auto i = static_cast<size_t>(job.task_id);
+      if (job.release_ms < chosen_release[i]) {
+        chosen_release[i] = job.release_ms;
+        ctx.views[i].has_active_job = true;
+        ctx.views[i].next_deadline_ms = job.deadline_ms;
+        ctx.views[i].executed_in_invocation = job.executed_work;
+        ctx.views[i].worst_case_remaining =
+            std::max(0.0, job.wcet_work - job.executed_work);
+      }
+    }
+    return ctx;
+  }
+
+  void FinalizeCompletion(RefJob* job) {
+    job->finished = true;
+    auto& stats = result.task_stats[static_cast<size_t>(job->task_id)];
+    stats.completions += 1;
+    result.completions += 1;
+    double response = now - job->release_ms;
+    stats.total_response_ms += response;
+    stats.max_response_ms = std::max(stats.max_response_ms, response);
+    last_actual_work[static_cast<size_t>(job->task_id)] = job->actual_work;
+  }
+
+  // Completions due at `now`; returns affected task ids in job-creation
+  // order (the callback order of the contract).
+  std::vector<int> ProcessCompletions() {
+    std::vector<int> completed;
+    for (RefJob& job : jobs) {
+      if (!job.finished && job.actual_work - job.executed_work <= kWorkEps) {
+        FinalizeCompletion(&job);
+        completed.push_back(job.task_id);
+      }
+    }
+    return completed;
+  }
+
+  void ProcessMisses() {
+    for (RefJob& job : jobs) {
+      if (job.finished || job.missed || job.deadline_ms > now + kTimeEpsMs) {
+        continue;
+      }
+      job.missed = true;
+      result.deadline_misses += 1;
+      result.task_stats[static_cast<size_t>(job.task_id)].deadline_misses += 1;
+      if (options.miss_policy == MissPolicy::kAbortJob) {
+        job.finished = true;
+        result.aborted += 1;
+        result.task_stats[static_cast<size_t>(job.task_id)].aborted += 1;
+      }
+    }
+  }
+
+  // Releases due at `now`, in task-id order; one execution-model draw per
+  // release (this order defines how the model consumes randomness).
+  std::vector<int> ProcessReleases() {
+    std::vector<int> released;
+    for (int id = 0; id < num_tasks(); ++id) {
+      auto i = static_cast<size_t>(id);
+      const Task& task = tasks.task(id);
+      while (next_release[i] <= now + kTimeEpsMs) {
+        double fraction = exec_model.DrawFraction(id, next_invocation[i], rng);
+        RTDVS_CHECK_GT(fraction, 0.0);
+        if (fraction > 1.0 + kWorkEps) {
+          result.wcet_overruns += 1;
+        }
+        RefJob job;
+        job.task_id = id;
+        job.invocation = next_invocation[i];
+        job.release_ms = next_release[i];
+        job.deadline_ms = next_release[i] + task.period_ms;
+        job.wcet_work = task.wcet_ms;
+        job.actual_work = fraction * task.wcet_ms;
+        jobs.push_back(job);
+        next_invocation[i] += 1;
+        next_release[i] += task.period_ms;
+        result.releases += 1;
+        result.task_stats[i].releases += 1;
+        released.push_back(id);
+      }
+    }
+    return released;
+  }
+
+  // Earliest next event strictly within the contract's tolerance rules.
+  double NextEventTime(int running, const RefSpeed& speed,
+                       const std::optional<double>& wakeup) const {
+    double t = options.horizon_ms;
+    for (double r : next_release) {
+      t = std::min(t, r);
+    }
+    for (const RefJob& job : jobs) {
+      if (!job.finished && job.deadline_ms > now + kTimeEpsMs) {
+        t = std::min(t, job.deadline_ms);
+      }
+    }
+    if (wakeup.has_value() && *wakeup > now + kTimeEpsMs) {
+      t = std::min(t, *wakeup);
+    }
+    if (running >= 0) {
+      const RefJob& job = jobs[static_cast<size_t>(running)];
+      double exec_start = std::max(now, speed.blocked_until());
+      double remaining = job.actual_work - job.executed_work;
+      t = std::min(t, exec_start + remaining / speed.current().frequency);
+    }
+    return std::min(std::max(t, now), options.horizon_ms);
+  }
+
+  // Charge the wall-time segment [now, t_next) to switching / execution /
+  // idle, integrating energy from first principles.
+  void IntegrateSegment(int running, const RefSpeed& speed, double t_next) {
+    const OperatingPoint point = speed.current();
+    const double volt_sq = point.voltage * point.voltage;
+    auto& residency = result.residency[machine.IndexOf(point)];
+    if (running >= 0) {
+      double exec_start =
+          std::min(std::max(std::max(now, speed.blocked_until()), now), t_next);
+      double switch_dt = exec_start - now;
+      if (switch_dt > 0) {
+        result.switching_ms += switch_dt;
+      }
+      double exec_dt = t_next - exec_start;
+      if (exec_dt > 0) {
+        RefJob& job = jobs[static_cast<size_t>(running)];
+        double work = exec_dt * point.frequency;
+        work = std::min(work, job.actual_work - job.executed_work);
+        job.executed_work += work;
+        cumulative_executed[static_cast<size_t>(job.task_id)] += work;
+        result.task_stats[static_cast<size_t>(job.task_id)].executed_work += work;
+        result.total_work_executed += work;
+        result.busy_ms += exec_dt;
+        double joules = work * volt_sq * options.energy_coefficient;
+        result.exec_energy += joules;
+        residency.exec_ms += exec_dt;
+        residency.exec_energy += joules;
+      }
+    } else {
+      double halt_end = std::clamp(speed.blocked_until(), now, t_next);
+      if (faults.idle_path_switch_bug) {
+        // Injected historical bug: the whole window is treated as idle at
+        // the (new) point — the halt is never charged to switching_ms.
+        halt_end = now;
+      }
+      double switch_dt = halt_end - now;
+      if (switch_dt > 0) {
+        result.switching_ms += switch_dt;
+      }
+      double idle_dt = t_next - halt_end;
+      if (idle_dt > 0) {
+        result.idle_ms += idle_dt;
+        double joules = idle_dt * point.frequency * volt_sq *
+                        options.idle_level * options.energy_coefficient;
+        result.idle_energy += joules;
+        residency.idle_ms += idle_dt;
+        residency.idle_energy += joules;
+      }
+    }
+  }
+
+  SimResult Run() {
+    const int n = num_tasks();
+    next_release.assign(static_cast<size_t>(n), 0.0);
+    next_invocation.assign(static_cast<size_t>(n), 0);
+    cumulative_executed.assign(static_cast<size_t>(n), 0.0);
+    last_actual_work.assign(static_cast<size_t>(n), 0.0);
+    result.task_stats.assign(static_cast<size_t>(n), TaskStats{});
+    for (int id = 0; id < n; ++id) {
+      next_release[static_cast<size_t>(id)] = tasks.task(id).phase_ms;
+      last_actual_work[static_cast<size_t>(id)] = tasks.task(id).wcet_ms;
+    }
+    result.policy_name = policy.name();
+    result.scheduler = policy.scheduler_kind();
+    result.horizon_ms = options.horizon_ms;
+    for (const OperatingPoint& point : machine.points()) {
+      result.residency.push_back(PointResidency{point, 0, 0, 0, 0});
+    }
+
+    const PolicyCounters counters_at_start = policy.counters();
+    RefSpeed speed(&machine, &now, options.switch_time_ms, &result.speed_switches);
+    {
+      PolicyContext ctx = BuildContext();
+      policy.OnStart(ctx, speed);
+    }
+    std::optional<double> wakeup;
+    {
+      PolicyContext ctx = BuildContext();
+      wakeup = policy.NextWakeupMs(ctx);
+    }
+
+    bool was_idle = false;
+    int prev_task = -1;
+    int64_t prev_invocation = -1;
+
+    while (now < options.horizon_ms - kTimeEpsMs) {
+      const int running = PickJobIndex();
+
+      // Preemption accounting (diagnostic parity with production): another
+      // job takes over while the previously running one still has work.
+      if (running >= 0) {
+        const RefJob& job = jobs[static_cast<size_t>(running)];
+        if (prev_task >= 0 &&
+            (job.task_id != prev_task || job.invocation != prev_invocation)) {
+          for (const RefJob& other : jobs) {
+            if (other.task_id == prev_task && other.invocation == prev_invocation &&
+                !other.finished) {
+              result.preemptions += 1;
+              break;
+            }
+          }
+        }
+        prev_task = job.task_id;
+        prev_invocation = job.invocation;
+      }
+
+      const double t_next = NextEventTime(running, speed, wakeup);
+      IntegrateSegment(running, speed, t_next);
+      now = t_next;
+      if (now >= options.horizon_ms - kTimeEpsMs) {
+        break;
+      }
+
+      // State changes due at `now`: completions, then misses, then
+      // releases (the miss_before_completion fault inverts the first two).
+      std::vector<int> completed;
+      if (faults.miss_before_completion_bug) {
+        ProcessMisses();
+        completed = ProcessCompletions();
+      } else {
+        completed = ProcessCompletions();
+        ProcessMisses();
+      }
+      std::vector<int> released = ProcessReleases();
+      jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                                [](const RefJob& job) { return job.finished; }),
+                 jobs.end());
+
+      // Policy callbacks after all state changes: completions first, then
+      // releases, then any due timer wakeup; OnIdle once per idle period.
+      PolicyContext ctx = BuildContext();
+      for (int task_id : completed) {
+        policy.OnTaskCompletion(task_id, ctx, speed);
+      }
+      for (int task_id : released) {
+        policy.OnTaskRelease(task_id, ctx, speed);
+      }
+      if (wakeup.has_value() && *wakeup <= now + kTimeEpsMs) {
+        policy.OnWakeup(ctx, speed);
+      }
+      wakeup = policy.NextWakeupMs(ctx);
+
+      bool any_unfinished = false;
+      for (const RefJob& job : jobs) {
+        if (!job.finished) {
+          any_unfinished = true;
+          break;
+        }
+      }
+      if (!any_unfinished && !was_idle) {
+        policy.OnIdle(ctx, speed);
+      }
+      was_idle = !any_unfinished;
+    }
+
+    for (const RefJob& job : jobs) {
+      if (!job.finished) {
+        result.unfinished_at_horizon += 1;
+        result.task_stats[static_cast<size_t>(job.task_id)].unfinished += 1;
+      }
+    }
+    result.lower_bound_energy = MinimumExecutionEnergy(
+        result.total_work_executed, options.horizon_ms, machine,
+        EnergyModel(0.0, options.energy_coefficient));
+    result.server_task_id = -1;
+    result.policy_counters = policy.counters().DiffSince(counters_at_start);
+    return result;
+  }
+};
+
+}  // namespace
+
+SimResult RunReferenceSimulation(const TaskSet& tasks, const MachineSpec& machine,
+                                 DvsPolicy& policy, ExecTimeModel& exec_model,
+                                 const SimOptions& options,
+                                 const ReferenceFaults& faults) {
+  RTDVS_CHECK(!tasks.empty()) << "cannot simulate an empty task set";
+  RTDVS_CHECK_GT(options.horizon_ms, 0.0);
+  RTDVS_CHECK_GE(options.switch_time_ms, 0.0);
+  RTDVS_CHECK(options.aperiodic.kind == ServerKind::kNone)
+      << "the reference simulator does not model aperiodic servers";
+  RefEngine engine(tasks, machine, policy, exec_model, options, faults);
+  return engine.Run();
+}
+
+SimResult RunReferenceSimulation(const TaskSet& tasks, const MachineSpec& machine,
+                                 const std::string& policy_id,
+                                 ExecTimeModel& exec_model, const SimOptions& options,
+                                 const ReferenceFaults& faults) {
+  std::unique_ptr<DvsPolicy> policy = MakePolicy(policy_id);
+  return RunReferenceSimulation(tasks, machine, *policy, exec_model, options, faults);
+}
+
+}  // namespace rtdvs

@@ -193,6 +193,14 @@ void Simulator::BuildContext(double now) {
   ctx_.now_ms = now;
   ctx_.tasks = &tasks_;
   ctx_.machine = &machine_;
+  // Wall-clock totals for utilization-feedback policies. The kernel layer
+  // has always populated these (kernel.cc); the simulator did not, so the
+  // interval baseline measured zero work per window and decayed to the
+  // minimum frequency regardless of load — found by differential testing
+  // against the reference simulator (tests/sim/differential_test.cc).
+  ctx_.cumulative_busy_ms = result_.busy_ms;
+  ctx_.cumulative_idle_ms = result_.idle_ms;
+  ctx_.cumulative_work = result_.total_work_executed;
   ctx_.views.resize(static_cast<size_t>(tasks_.size()));
   for (int id = 0; id < tasks_.size(); ++id) {
     auto& view = ctx_.views[static_cast<size_t>(id)];

@@ -1,0 +1,198 @@
+#include "src/testing/shrink.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+namespace {
+
+// A move proposes zero or more simpler candidates; the driver accepts the
+// first one that still fails and restarts the pass from the new best.
+using Move = std::function<std::vector<FuzzCase>(const FuzzCase&)>;
+
+std::vector<FuzzCase> DropTasks(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  if (c.tasks.size() <= 1) {
+    return out;
+  }
+  for (size_t i = 0; i < c.tasks.size(); ++i) {
+    FuzzCase candidate = c;
+    candidate.tasks.erase(candidate.tasks.begin() + static_cast<long>(i));
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+std::vector<FuzzCase> DropMachinePoints(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  if (c.machine_points.size() <= 1) {
+    return out;
+  }
+  // The maximum-frequency point (last, frequency 1.0) is mandatory for a
+  // valid MachineSpec, so only interior points are droppable.
+  for (size_t i = 0; i + 1 < c.machine_points.size(); ++i) {
+    FuzzCase candidate = c;
+    candidate.machine_points.erase(candidate.machine_points.begin() +
+                                   static_cast<long>(i));
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+std::vector<FuzzCase> SimplifyKnobs(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  if (c.switch_time_ms != 0.0) {
+    FuzzCase candidate = c;
+    candidate.switch_time_ms = 0.0;
+    out.push_back(std::move(candidate));
+  }
+  if (c.idle_level != 0.0) {
+    FuzzCase candidate = c;
+    candidate.idle_level = 0.0;
+    out.push_back(std::move(candidate));
+  }
+  if (c.miss_policy != MissPolicy::kContinueLate) {
+    FuzzCase candidate = c;
+    candidate.miss_policy = MissPolicy::kContinueLate;
+    out.push_back(std::move(candidate));
+  }
+  bool any_phase = false;
+  for (const Task& task : c.tasks) {
+    any_phase = any_phase || task.phase_ms != 0.0;
+  }
+  if (any_phase) {
+    FuzzCase candidate = c;
+    for (Task& task : candidate.tasks) {
+      task.phase_ms = 0.0;
+    }
+    out.push_back(std::move(candidate));
+  }
+  if (c.seed != 1) {
+    FuzzCase candidate = c;
+    candidate.seed = 1;
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+std::vector<FuzzCase> SimplifyExecSpec(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  for (const char* spec : {"c:1", "c:0.5"}) {
+    if (c.exec_spec != spec) {
+      FuzzCase candidate = c;
+      candidate.exec_spec = spec;
+      out.push_back(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+std::vector<FuzzCase> ShrinkHorizon(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  double max_period = 1.0;
+  for (const Task& task : c.tasks) {
+    max_period = std::max(max_period, task.period_ms + task.phase_ms);
+  }
+  // Halve toward the shortest horizon that still covers one full period of
+  // every task; below that most scenarios degenerate to "nothing happened".
+  double floor = std::ceil(1.1 * max_period);
+  for (double candidate_horizon : {c.horizon_ms / 2.0, floor}) {
+    candidate_horizon = std::max(std::round(candidate_horizon), floor);
+    if (candidate_horizon < c.horizon_ms) {
+      FuzzCase candidate = c;
+      candidate.horizon_ms = candidate_horizon;
+      out.push_back(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+std::vector<FuzzCase> RoundTaskNumbers(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  for (size_t i = 0; i < c.tasks.size(); ++i) {
+    const Task& task = c.tasks[i];
+    // Integer milliseconds, then one decimal. Keep 0 < wcet <= period.
+    for (double scale : {1.0, 10.0}) {
+      double period = std::round(task.period_ms * scale) / scale;
+      double wcet = std::round(task.wcet_ms * scale) / scale;
+      period = std::max(period, 1.0 / scale);
+      wcet = std::min(std::max(wcet, 1.0 / scale), period);
+      if (period != task.period_ms || wcet != task.wcet_ms) {
+        FuzzCase candidate = c;
+        candidate.tasks[i].period_ms = period;
+        candidate.tasks[i].wcet_ms = wcet;
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FuzzCase> RoundMachineNumbers(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  FuzzCase candidate = c;
+  bool changed = false;
+  for (OperatingPoint& point : candidate.machine_points) {
+    double voltage = std::round(point.voltage * 10.0) / 10.0;
+    if (voltage <= 0.0) {
+      voltage = 0.1;
+    }
+    changed = changed || voltage != point.voltage;
+    point.voltage = voltage;
+  }
+  // Rounding must preserve non-decreasing voltages or MachineSpec aborts.
+  for (size_t i = 1; i < candidate.machine_points.size(); ++i) {
+    if (candidate.machine_points[i].voltage < candidate.machine_points[i - 1].voltage) {
+      changed = false;
+    }
+  }
+  if (changed) {
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+}  // namespace
+
+FuzzCase ShrinkFuzzCase(const FuzzCase& failing, const ShrinkPredicate& still_fails,
+                        const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local_stats;
+  ShrinkStats& s = stats != nullptr ? *stats : local_stats;
+  s = ShrinkStats{};
+  if (options.max_predicate_calls <= 0) {
+    return failing;
+  }
+  RTDVS_CHECK(still_fails(failing)) << "shrink input does not fail its predicate";
+  s.predicate_calls = 1;
+
+  static const Move kMoves[] = {
+      DropTasks,        DropMachinePoints, SimplifyKnobs,
+      SimplifyExecSpec, ShrinkHorizon,     RoundTaskNumbers,
+      RoundMachineNumbers,
+  };
+
+  FuzzCase best = failing;
+  bool progressed = true;
+  while (progressed && s.predicate_calls < options.max_predicate_calls) {
+    progressed = false;
+    for (const Move& move : kMoves) {
+      for (FuzzCase& candidate : move(best)) {
+        if (s.predicate_calls >= options.max_predicate_calls) {
+          return best;
+        }
+        ++s.predicate_calls;
+        if (still_fails(candidate)) {
+          best = std::move(candidate);
+          ++s.accepted_moves;
+          progressed = true;
+          break;  // regenerate candidates from the simpler case next pass
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,48 @@
+// Greedy shrinking of failing FuzzCases.
+//
+// When a fuzz trial fails (divergence between the production and reference
+// simulators, or a metamorphic-property violation), the raw generated case is
+// usually noisy: eight tasks, a ten-point machine, phases, switch costs. The
+// shrinker repeatedly applies simplifying moves — drop a task, drop an
+// operating point, zero a knob, round a number — keeping a move only if the
+// case STILL fails, until no move makes progress. The result is the minimal
+// (locally, under this move set) reproduction, which is what gets printed as
+// a repro string and checked in as a regression test.
+//
+// The predicate is the single source of truth for "still fails"; the
+// shrinker never interprets results itself, so the same machinery minimizes
+// differential divergences and property violations alike.
+#ifndef SRC_TESTING_SHRINK_H_
+#define SRC_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "src/testing/generators.h"
+
+namespace rtdvs {
+
+// Returns true when the candidate case still exhibits the failure being
+// minimized. Must be deterministic (the shrinker may re-evaluate equivalent
+// candidates) and must tolerate any structurally valid FuzzCase.
+using ShrinkPredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkOptions {
+  // Hard cap on predicate evaluations; greedy passes stop early when a full
+  // pass accepts no move. 0 disables shrinking (the input is returned).
+  int max_predicate_calls = 2000;
+};
+
+struct ShrinkStats {
+  int predicate_calls = 0;
+  int accepted_moves = 0;
+};
+
+// Greedily minimizes `failing`, which must itself satisfy the predicate
+// (CHECKed). The returned case always satisfies the predicate.
+FuzzCase ShrinkFuzzCase(const FuzzCase& failing, const ShrinkPredicate& still_fails,
+                        const ShrinkOptions& options = {},
+                        ShrinkStats* stats = nullptr);
+
+}  // namespace rtdvs
+
+#endif  // SRC_TESTING_SHRINK_H_

@@ -1,0 +1,121 @@
+// Property tests linking the analytical schedulability tests (src/rt/
+// schedulability.h) to BOTH simulators: a task set the analysis admits at
+// full speed must run without a single deadline miss under worst-case
+// demand, in the production engine and in the reference oracle alike; and
+// an EDF-overloaded set must miss.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/machine_spec.h"
+#include "src/rt/exec_time_model.h"
+#include "src/rt/schedulability.h"
+#include "src/sim/reference_sim.h"
+#include "src/sim/simulator.h"
+#include "src/testing/generators.h"
+#include "src/util/random.h"
+
+namespace rtdvs {
+namespace {
+
+SimOptions WorstCaseOptions(const TaskSet& tasks) {
+  SimOptions options;
+  double max_period = 0;
+  for (const Task& task : tasks.tasks()) {
+    max_period = std::max(max_period, task.period_ms + task.phase_ms);
+  }
+  options.horizon_ms = 20.0 * max_period;
+  return options;
+}
+
+TEST(SchedulabilityPropertyTest, AnalyticallySchedulableSetsNeverMiss) {
+  // 150 generated sets; the admitted ones (EDF by utilization, RM by exact
+  // response-time analysis) must be miss-free at full speed in both engines
+  // even with every invocation consuming its full WCET.
+  int edf_admitted = 0;
+  int rm_admitted = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Pcg32 rng(/*seed=*/99, static_cast<uint64_t>(trial));
+    int num_tasks = 1 + static_cast<int>(rng.NextBounded(6));
+    double target = rng.UniformDouble(0.2, 1.0);
+    bool harmonic = rng.NextDouble() < 0.5;
+    TaskSet tasks(GenerateFuzzTasks(rng, num_tasks, target, harmonic,
+                                    /*allow_phases=*/false));
+    const MachineSpec machine = MachineSpec::Machine1();
+    const SimOptions options = WorstCaseOptions(tasks);
+
+    struct Check {
+      const char* policy_id;
+      bool admitted;
+    };
+    const Check checks[] = {
+        {"edf", EdfSchedulable(tasks, 1.0)},
+        {"rm", RmSchedulableExact(tasks, 1.0)},
+    };
+    for (const Check& check : checks) {
+      if (!check.admitted) {
+        continue;
+      }
+      (check.policy_id == std::string("edf") ? edf_admitted : rm_admitted)++;
+      ConstantFractionModel worst_production(1.0);
+      SimResult production =
+          RunSimulation(tasks, machine, check.policy_id, worst_production, options);
+      EXPECT_EQ(production.deadline_misses, 0)
+          << check.policy_id << " production, trial " << trial << ": "
+          << tasks.ToString();
+      ConstantFractionModel worst_reference(1.0);
+      SimResult reference = RunReferenceSimulation(
+          tasks, machine, check.policy_id, worst_reference, options);
+      EXPECT_EQ(reference.deadline_misses, 0)
+          << check.policy_id << " reference, trial " << trial << ": "
+          << tasks.ToString();
+    }
+  }
+  // The generator's utilization range must actually exercise the property.
+  EXPECT_GT(edf_admitted, 30);
+  EXPECT_GT(rm_admitted, 20);
+}
+
+TEST(SchedulabilityPropertyTest, OverloadedEdfSetsMissInBothEngines) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Pcg32 rng(/*seed=*/123, static_cast<uint64_t>(trial));
+    TaskSet tasks(GenerateFuzzTasks(rng, 3, /*target_utilization=*/1.3,
+                                    /*harmonic=*/false, /*allow_phases=*/false));
+    ASSERT_FALSE(EdfSchedulable(tasks, 1.0));
+    const MachineSpec machine = MachineSpec::Machine0();
+    SimOptions options = WorstCaseOptions(tasks);
+    options.horizon_ms = 100.0 * tasks.tasks()[0].period_ms;
+    ConstantFractionModel worst_production(1.0);
+    SimResult production = RunSimulation(tasks, machine, "edf", worst_production,
+                                         options);
+    EXPECT_GT(production.deadline_misses, 0) << tasks.ToString();
+    ConstantFractionModel worst_reference(1.0);
+    SimResult reference =
+        RunReferenceSimulation(tasks, machine, "edf", worst_reference, options);
+    EXPECT_EQ(reference.deadline_misses, production.deadline_misses)
+        << tasks.ToString();
+  }
+}
+
+TEST(SchedulabilityPropertyTest, StaticScalingPointKeepsGuarantee) {
+  // The §2.3 static point is chosen so the scaled set stays schedulable;
+  // running static_edf at it must therefore be miss-free too.
+  for (int trial = 0; trial < 40; ++trial) {
+    Pcg32 rng(/*seed=*/7, static_cast<uint64_t>(trial));
+    TaskSet tasks(GenerateFuzzTasks(rng, 1 + static_cast<int>(rng.NextBounded(5)),
+                                    rng.UniformDouble(0.2, 0.9), /*harmonic=*/false,
+                                    /*allow_phases=*/false));
+    const MachineSpec machine = MachineSpec::Machine2();
+    auto point = StaticScalingPoint(tasks, machine, SchedulerKind::kEdf);
+    if (!point.has_value()) {
+      continue;
+    }
+    ConstantFractionModel worst(1.0);
+    SimResult result =
+        RunSimulation(tasks, machine, "static_edf", worst, WorstCaseOptions(tasks));
+    EXPECT_EQ(result.deadline_misses, 0) << tasks.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace rtdvs

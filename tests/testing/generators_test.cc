@@ -1,0 +1,136 @@
+// Tests for the fuzz-case generators and repro-string round-trip.
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/dvs/policy.h"
+#include "src/testing/generators.h"
+#include "src/util/random.h"
+
+namespace rtdvs {
+namespace {
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  for (uint64_t stream = 0; stream < 20; ++stream) {
+    Pcg32 a(1, stream);
+    Pcg32 b(1, stream);
+    FuzzCase case_a = GenerateFuzzCase(a);
+    FuzzCase case_b = GenerateFuzzCase(b);
+    EXPECT_TRUE(FuzzCaseEquals(case_a, case_b));
+    EXPECT_EQ(FuzzCaseToRepro(case_a), FuzzCaseToRepro(case_b));
+  }
+  Pcg32 c(2, 0);
+  Pcg32 d(3, 0);
+  EXPECT_FALSE(FuzzCaseEquals(GenerateFuzzCase(c), GenerateFuzzCase(d)));
+}
+
+TEST(GeneratorsTest, GeneratedCasesAreStructurallyValid) {
+  for (uint64_t stream = 0; stream < 200; ++stream) {
+    Pcg32 rng(5, stream);
+    FuzzCase c = GenerateFuzzCase(rng);
+    EXPECT_TRUE(IsValidPolicyId(c.policy_id));
+    // MachineSpec and TaskSet constructors abort on invalid input, so
+    // building them IS the validity assertion.
+    MachineSpec machine = FuzzMachine(c);
+    EXPECT_EQ(machine.points().back().frequency, 1.0);
+    TaskSet tasks = FuzzTasks(c);
+    EXPECT_GE(tasks.size(), 1);
+    EXPECT_NE(MakeFuzzExecModel(c.exec_spec), nullptr);
+    EXPECT_GT(c.horizon_ms, 0.0);
+  }
+}
+
+TEST(GeneratorsTest, UtilizationTargetIsAccurate) {
+  for (uint64_t stream = 0; stream < 50; ++stream) {
+    Pcg32 rng(9, stream);
+    double target = 0.2 + 0.15 * static_cast<double>(stream % 5);
+    TaskSet tasks(GenerateFuzzTasks(rng, 5, target, /*harmonic=*/false,
+                                    /*allow_phases=*/false));
+    // Snapping to the microsecond grid and the 1 microsecond WCET floor
+    // perturb each share slightly; 0.02 absolute tolerance covers it.
+    EXPECT_NEAR(tasks.TotalUtilization(), target, 0.02)
+        << "stream " << stream << ": " << tasks.ToString();
+  }
+}
+
+TEST(GeneratorsTest, HarmonicSetsSharePowerOfTwoRatios) {
+  Pcg32 rng(4, 0);
+  std::vector<Task> tasks = GenerateFuzzTasks(rng, 6, 0.8, /*harmonic=*/true,
+                                              /*allow_phases=*/false);
+  double base = tasks[0].period_ms;
+  for (const Task& task : tasks) {
+    base = std::min(base, task.period_ms);
+  }
+  for (const Task& task : tasks) {
+    double ratio = task.period_ms / base;
+    EXPECT_DOUBLE_EQ(ratio, std::round(ratio)) << task.period_ms << " vs " << base;
+    EXPECT_EQ(std::exp2(std::round(std::log2(ratio))), ratio);
+  }
+}
+
+TEST(GeneratorsTest, MachinePointsCoverDegenerateSinglePointGrid) {
+  std::set<size_t> sizes;
+  for (uint64_t stream = 0; stream < 300; ++stream) {
+    Pcg32 rng(8, stream);
+    sizes.insert(GenerateMachinePoints(rng, 10).size());
+  }
+  EXPECT_TRUE(sizes.count(1)) << "degenerate single-point grid never generated";
+  EXPECT_TRUE(sizes.count(10)) << "maximum-size grid never generated";
+}
+
+TEST(GeneratorsTest, ReproRoundTripIsExact) {
+  for (uint64_t stream = 0; stream < 100; ++stream) {
+    Pcg32 rng(11, stream);
+    FuzzCase original = GenerateFuzzCase(rng);
+    std::string repro = FuzzCaseToRepro(original);
+    std::string error;
+    auto parsed = ParseRepro(repro, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << "\n" << repro;
+    EXPECT_TRUE(FuzzCaseEquals(original, *parsed)) << repro;
+    // Serializing the parse reproduces the string bit-for-bit.
+    EXPECT_EQ(FuzzCaseToRepro(*parsed), repro);
+  }
+}
+
+TEST(GeneratorsTest, ParseReproRejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "not-a-repro",
+      "rtdvs-fuzz-v1",                                          // no tasks
+      "rtdvs-fuzz-v1;tasks=",                                   // empty tasks
+      "rtdvs-fuzz-v1;tasks=5:1:0;policy=bogus",                 // unknown policy
+      "rtdvs-fuzz-v1;tasks=5:6:0",                              // wcet > period
+      "rtdvs-fuzz-v1;tasks=5:1:0;exec=q:1",                     // bad exec spec
+      "rtdvs-fuzz-v1;tasks=5:1:0;miss=sometimes",               // bad miss policy
+      "rtdvs-fuzz-v1;tasks=5:1:0;machine=1",                    // not f/v
+      "rtdvs-fuzz-v1;tasks=5:1:0;horizon=-3",                   // bad horizon
+      "rtdvs-fuzz-v1;tasks=5:1:0;unknown=1",                    // unknown field
+  };
+  for (const char* repro : bad) {
+    std::string error;
+    EXPECT_FALSE(ParseRepro(repro, &error).has_value()) << repro;
+    if (std::string(repro).find("rtdvs-fuzz-v1") != std::string::npos) {
+      EXPECT_FALSE(error.empty()) << repro;
+    }
+  }
+}
+
+TEST(GeneratorsTest, ExecModelGrammarCoversAllForms) {
+  EXPECT_NE(MakeFuzzExecModel("c:1"), nullptr);
+  EXPECT_NE(MakeFuzzExecModel("c:0.5"), nullptr);
+  EXPECT_NE(MakeFuzzExecModel("u:0,1"), nullptr);
+  EXPECT_NE(MakeFuzzExecModel("cold:1.5,1"), nullptr);
+  EXPECT_NE(MakeFuzzExecModel("cold:2,0"), nullptr);
+  EXPECT_NE(MakeFuzzExecModel("t:0.5,1/1,1"), nullptr);
+  EXPECT_EQ(MakeFuzzExecModel("c:0"), nullptr);       // fraction must be > 0
+  EXPECT_EQ(MakeFuzzExecModel("c:1.5"), nullptr);     // and <= 1
+  EXPECT_EQ(MakeFuzzExecModel("u:0.8,0.2"), nullptr); // hi <= lo
+  EXPECT_EQ(MakeFuzzExecModel("cold:0.5,1"), nullptr);// factor < 1
+  EXPECT_EQ(MakeFuzzExecModel("t:"), nullptr);
+  EXPECT_EQ(MakeFuzzExecModel("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -1,0 +1,106 @@
+// Tests for greedy shrinking: a planted divergence must be minimized to a
+// drastically simpler case that still exhibits the failure, and the shrunken
+// case's repro string must replay it.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/testing/differential.h"
+#include "src/testing/shrink.h"
+
+namespace rtdvs {
+namespace {
+
+// A noisy case (found by an injected-bug fuzz campaign, checked in
+// verbatim) that diverges when the historical idle-path switch-accounting
+// bug is injected into the reference: eight tasks — most of them junk —
+// with phases and abort misses on a nine-point machine whose cc_edf
+// trajectory hops between points right before idle periods.
+FuzzCase NoisyDivergingCase() {
+  auto c = ParseRepro(
+      "rtdvs-fuzz-v1;policy=cc_edf;"
+      "machine=0.27000000000000002/0.95999999999999996,"
+      "0.33000000000000002/1.6280000000000001,0.38/1.899,"
+      "0.39000000000000001/2.605,0.45000000000000001/2.9580000000000002,"
+      "0.56999999999999995/3.4770000000000003,"
+      "0.76000000000000001/3.8260000000000005,"
+      "0.95999999999999996/4.0340000000000007,1/4.6450000000000005;"
+      "tasks=8.4220000000000006:0.30599999999999999:0,"
+      "13.712999999999999:1.365:6.3630000000000004,"
+      "2.7240000000000002:0.125:0.51300000000000001,"
+      "22.091999999999999:0.21299999999999999:0,"
+      "4.0030000000000001:0.84299999999999997:0,"
+      "40.978000000000002:0.88400000000000001:0,"
+      "26.920999999999999:0.125:2.4009999999999998,"
+      "31.992999999999999:0.752:11.557;"
+      "exec=c:1;horizon=157.96000000000001;idle=0.5;"
+      "switch=0.10000000000000001;miss=abort;seed=5134175072175760406");
+  return c.value();  // throws (failing the test) if the golden string rots
+}
+
+ShrinkPredicate DivergesWithInjectedBug() {
+  ReferenceFaults faults;
+  faults.idle_path_switch_bug = true;
+  return [faults](const FuzzCase& candidate) {
+    return !RunFuzzTrial(candidate, /*check_properties=*/false, faults).ok;
+  };
+}
+
+TEST(ShrinkTest, ConvergesOnPlantedDivergence) {
+  FuzzCase noisy = NoisyDivergingCase();
+  ShrinkPredicate fails = DivergesWithInjectedBug();
+  ASSERT_TRUE(fails(noisy)) << "planted case must diverge before shrinking";
+
+  ShrinkStats stats;
+  FuzzCase minimal = ShrinkFuzzCase(noisy, fails, {}, &stats);
+
+  // The failure survives shrinking…
+  EXPECT_TRUE(fails(minimal));
+  // …and the case got drastically simpler: the junk tasks are gone (the
+  // acceptance bar is <= 3 tasks; in practice this converges to 1) and the
+  // five-point grid collapses (two points minimum — the bug needs a switch).
+  EXPECT_LE(minimal.tasks.size(), 3u);
+  EXPECT_LE(minimal.machine_points.size(), 2u);
+  EXPECT_GT(minimal.switch_time_ms, 0.0) << "bug needs a switch cost";
+  EXPECT_LE(minimal.horizon_ms, noisy.horizon_ms);
+  EXPECT_GT(stats.accepted_moves, 0);
+}
+
+TEST(ShrinkTest, ShrunkenReproStringReplays) {
+  ShrinkPredicate fails = DivergesWithInjectedBug();
+  FuzzCase minimal = ShrinkFuzzCase(NoisyDivergingCase(), fails, {}, nullptr);
+  std::string repro = FuzzCaseToRepro(minimal);
+  auto parsed = ParseRepro(repro);
+  ASSERT_TRUE(parsed.has_value()) << repro;
+  EXPECT_TRUE(FuzzCaseEquals(minimal, *parsed));
+  EXPECT_TRUE(fails(*parsed)) << "replayed repro must still diverge: " << repro;
+}
+
+TEST(ShrinkTest, HealthyCaseRefusesToShrink) {
+  // Without the injected fault the planted case agrees, so the predicate
+  // rejects the input and ShrinkFuzzCase must CHECK-fail.
+  FuzzCase healthy = NoisyDivergingCase();
+  ASSERT_TRUE(RunFuzzTrial(healthy, /*check_properties=*/false).ok);
+  EXPECT_DEATH(
+      ShrinkFuzzCase(healthy,
+                     [](const FuzzCase& candidate) {
+                       return !RunFuzzTrial(candidate, false).ok;
+                     }),
+      "does not fail its predicate");
+}
+
+TEST(ShrinkTest, RespectsPredicateCallBudget) {
+  ShrinkPredicate fails = DivergesWithInjectedBug();
+  ShrinkOptions options;
+  options.max_predicate_calls = 5;
+  ShrinkStats stats;
+  FuzzCase result = ShrinkFuzzCase(NoisyDivergingCase(), fails, options, &stats);
+  EXPECT_LE(stats.predicate_calls, 5);
+  EXPECT_TRUE(fails(result));
+  options.max_predicate_calls = 0;
+  FuzzCase untouched = ShrinkFuzzCase(NoisyDivergingCase(), fails, options, &stats);
+  EXPECT_TRUE(FuzzCaseEquals(untouched, NoisyDivergingCase()));
+}
+
+}  // namespace
+}  // namespace rtdvs

@@ -2,10 +2,12 @@
 # CI driver: plain build + full test suite, then the same suite under
 # ASan/UBSan, then the concurrency tests (thread pool, parallel sweep
 # harness, bench smokes) under TSan, then every bench in --quick mode with
-# --json output validated against the rtdvs-bench-v1 schema.
+# --json output validated against the rtdvs-bench-v1 schema, then a bounded
+# deterministic differential-fuzz campaign (production simulator vs the
+# reference oracle; failing repro strings land in build-ci-plain/fuzz/).
 #
 #   tools/ci.sh              # all stages
-#   tools/ci.sh plain        # one stage: plain | asan-ubsan | tsan | bench-json
+#   tools/ci.sh plain        # one: plain | asan-ubsan | tsan | bench-json | fuzz
 #
 # Each stage builds into its own tree (build-ci-<stage>) so sanitizer flags
 # never leak between configurations. ctest labels: tier1 = fast unit suites,
@@ -73,20 +75,43 @@ stage_bench_json() {
   build-ci-plain/tools/rtdvs-json-check "$out"/BENCH_*.json
 }
 
+stage_fuzz() {
+  echo "=== stage: differential fuzz, production vs reference oracle ==="
+  configure_and_build build-ci-plain
+  local out="build-ci-plain/fuzz"
+  mkdir -p "$out"
+  # Fixed seed => deterministic campaign; ~30 s wall-clock budget. Exit code
+  # 4 (divergence or property violation) fails the stage; the shrunken repro
+  # strings in fuzz/repros.txt replay via rtdvs-fuzz --repro=<line>.
+  build-ci-plain/tools/rtdvs-fuzz --trials=500 --seed=1 --max-ms=30000 \
+    --repro-out="$out/repros.txt"
+  # Self-check: with a historical bug injected into the reference, the same
+  # campaign MUST report a divergence — otherwise the oracle went blind.
+  if build-ci-plain/tools/rtdvs-fuzz --trials=150 --seed=7 \
+      --inject-bug=idle-switch --no-properties --no-shrink \
+      --max-ms=30000 >/dev/null; then
+    echo "fuzz self-check FAILED: injected bug was not detected" >&2
+    exit 1
+  fi
+  echo "fuzz self-check passed: injected bug detected"
+}
+
 STAGE="${1:-all}"
 case "$STAGE" in
   plain) stage_plain ;;
   asan-ubsan) stage_asan_ubsan ;;
   tsan) stage_tsan ;;
   bench-json) stage_bench_json ;;
+  fuzz) stage_fuzz ;;
   all)
     stage_plain
     stage_asan_ubsan
     stage_tsan
     stage_bench_json
+    stage_fuzz
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|bench-json|all]" >&2
+    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|bench-json|fuzz|all]" >&2
     exit 1
     ;;
 esac
