@@ -87,9 +87,9 @@ void LaEdfPolicy::Defer(const PolicyContext& ctx, SpeedController& speed) {
     point = (must_run_now > kWorkEps) ? ctx.machine->max_point()
                                       : ctx.machine->min_point();
   } else {
-    const double utilization = must_run_now / interval;
-    RecordUtilizationSample(utilization);
-    point = ctx.machine->LowestPointAtLeastClamped(utilization);
+    const double required_speed = must_run_now / interval;
+    RecordUtilizationSample(required_speed);
+    point = ctx.machine->LowestPointAtLeastClamped(required_speed);
   }
   RequestOperatingPoint(speed, point);
 }

@@ -1,0 +1,102 @@
+// The single implementation of PolicyContext construction, shared by the
+// simulator and the kernel. Before this existed each host re-derived the
+// context by hand and the two copies drifted: the simulator forgot the
+// cumulative busy/idle/work totals (the PR-4 interval-policy bug), and the
+// kernel picked a task's "current invocation" by comparing a candidate's
+// release against the chosen DEADLINE — correct only while deadline ==
+// release + period, wrong for backlogged tasks under continue-late misses
+// and for CBS replacement jobs. Both fixes now live here, once.
+#ifndef SRC_ENGINE_CONTEXT_BUILDER_H_
+#define SRC_ENGINE_CONTEXT_BUILDER_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/policy.h"
+#include "src/engine/energy_accountant.h"
+#include "src/rt/job.h"
+#include "src/rt/task.h"
+
+namespace rtdvs {
+
+class ContextBuilder {
+ public:
+  // The host-side per-task release bookkeeping the context is derived from.
+  struct TaskSnapshot {
+    double next_release_ms = 0;
+    double cumulative_executed = 0;
+    double last_actual_work = 0;
+  };
+
+  // `tasks` and `machine` must outlive the builder (rebind when they move).
+  void Bind(const TaskSet* tasks, const MachineSpec* machine) {
+    tasks_ = tasks;
+    machine_ = machine;
+  }
+
+  // Fills `ctx` for time `now_ms`: wall-clock totals from the accountant,
+  // one TaskRuntimeView per task (defaults from `snapshot(id)`, then the
+  // earliest-released unfinished job in `jobs` defines the task's current
+  // invocation). `snapshot` is called once per task id in id order.
+  template <typename SnapshotFn>
+  void Build(double now_ms, const std::vector<Job>& jobs,
+             const EngineTotals& totals, SnapshotFn&& snapshot,
+             PolicyContext* ctx) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    ctx->now_ms = now_ms;
+    ctx->tasks = tasks_;
+    ctx->machine = machine_;
+    // Wall-clock totals for utilization-feedback policies (the interval
+    // baseline measures load as work per window; leaving these zero decays
+    // it to the minimum frequency regardless of load — found by
+    // differential testing, tests/sim/differential_test.cc).
+    ctx->cumulative_busy_ms = totals.busy_ms;
+    ctx->cumulative_idle_ms = totals.idle_ms;
+    ctx->cumulative_work = totals.work;
+    const size_t n = static_cast<size_t>(tasks_->size());
+    ctx->views.resize(n);
+    for (size_t id = 0; id < n; ++id) {
+      auto& view = ctx->views[id];
+      const TaskSnapshot snap = snapshot(static_cast<int>(id));
+      view.has_active_job = false;
+      view.next_deadline_ms = snap.next_release_ms;
+      view.executed_in_invocation = 0;
+      view.worst_case_remaining = 0;
+      view.cumulative_executed = snap.cumulative_executed;
+      view.last_actual_work = snap.last_actual_work;
+    }
+    // Earliest unfinished job per task defines the "current invocation".
+    // Track the chosen job's release explicitly: comparing a candidate's
+    // release against the chosen DEADLINE happens to work for strictly
+    // periodic jobs (deadline = release + period) but resolves wrongly for
+    // backlogged tasks under MissPolicy::kContinueLate and for CBS
+    // replacement jobs, whose release/deadline ordering differs.
+    chosen_release_.assign(n, kInf);
+    for (const auto& job : jobs) {
+      if (job.finished) {
+        continue;
+      }
+      auto& view = ctx->views[static_cast<size_t>(job.task_id)];
+      double& chosen = chosen_release_[static_cast<size_t>(job.task_id)];
+      if (!view.has_active_job || job.release_ms < chosen) {
+        view.has_active_job = true;
+        chosen = job.release_ms;
+        view.next_deadline_ms = job.deadline_ms;
+        view.executed_in_invocation = job.executed_work;
+        view.worst_case_remaining = job.RemainingWorstCaseWork();
+      }
+    }
+  }
+
+ private:
+  const TaskSet* tasks_ = nullptr;
+  const MachineSpec* machine_ = nullptr;
+  // Release time of each task's chosen invocation; member to avoid
+  // per-event allocation.
+  std::vector<double> chosen_release_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_ENGINE_CONTEXT_BUILDER_H_

@@ -1,0 +1,12 @@
+#include "src/engine/energy_accountant.h"
+
+namespace rtdvs {
+
+void EnergyAccountant::OnSwitchHalt(double start_ms, double end_ms,
+                                    const OperatingPoint& point) {
+  (void)start_ms;
+  (void)end_ms;
+  (void)point;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,171 @@
+// Segment-level time/energy accounting shared by the simulation and kernel
+// hosts. Between events the processor state is constant, so each segment
+// integrates in closed form; the accountant owns the wall-clock partition
+// (busy/idle/switching), total work, energy sums, per-operating-point
+// residency and trace emission, while the host-specific energy arithmetic
+// lives behind three virtual hooks:
+//
+//   * ModelEnergyAccountant      — the simulator's normalized EnergyModel
+//                                  (work·V² exec, t·f·V²·idle_level idle,
+//                                  switch halts cost time but ~no energy).
+//   * the kernel's metered variant (kernel.cc) — SystemPowerModel watts into
+//                                  a PowerMeter, Figure 15 style.
+//
+// The reference simulator (src/sim/reference_sim.cc) deliberately does NOT
+// use this class: it re-integrates energy from first principles so the
+// differential fuzzer cross-checks this accounting rather than inheriting
+// its bugs.
+#ifndef SRC_ENGINE_ENERGY_ACCOUNTANT_H_
+#define SRC_ENGINE_ENERGY_ACCOUNTANT_H_
+
+#include <vector>
+
+#include "src/cpu/energy_model.h"
+#include "src/cpu/machine_spec.h"
+#include "src/cpu/operating_point.h"
+#include "src/engine/trace_sink.h"
+
+namespace rtdvs {
+
+// Time and energy spent at one operating point.
+struct PointResidency {
+  OperatingPoint point;
+  double exec_ms = 0;
+  double idle_ms = 0;
+  double exec_energy = 0;
+  double idle_energy = 0;
+};
+
+// Wall-clock and energy totals accumulated over a run. The partition
+// invariant busy + idle + switching == horizon is what SimAudit checks.
+struct EngineTotals {
+  double busy_ms = 0;
+  double idle_ms = 0;
+  double switching_ms = 0;  // halted during voltage/frequency transitions
+  double work = 0;          // in max-frequency milliseconds
+  double exec_energy = 0;
+  double idle_energy = 0;
+};
+
+class EnergyAccountant {
+ public:
+  virtual ~EnergyAccountant() = default;
+
+  // Optional per-point residency output; `machine` resolves point indices.
+  // Both must outlive the accountant (or be rebound). Pass nullptrs to
+  // disable residency tracking (the kernel host does).
+  void BindResidency(const MachineSpec* machine,
+                     std::vector<PointResidency>* residency) {
+    machine_ = machine;
+    residency_ = residency;
+  }
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+
+  void Reset() { totals_ = EngineTotals{}; }
+
+  // The Record* methods are defined inline: they run once per integrated
+  // segment on both hosts' hot paths, and a caller holding a concrete
+  // accountant (the simulator holds a ModelEnergyAccountant by value) can
+  // then devirtualize and inline the Joules hooks.
+  //
+  // Zero-length segments are ignored; callers need not guard.
+  void RecordExecution(double start_ms, double end_ms, double work, int task_id,
+                       const OperatingPoint& point) {
+    const double dt = end_ms - start_ms;
+    if (dt <= 0) {
+      return;
+    }
+    totals_.work += work;
+    totals_.busy_ms += dt;
+    const double joules = ExecutionJoules(start_ms, end_ms, work, point);
+    totals_.exec_energy += joules;
+    if (residency_ != nullptr) {
+      auto& res = (*residency_)[machine_->IndexOf(point)];
+      res.exec_ms += dt;
+      res.exec_energy += joules;
+    }
+    if (sink_ != nullptr) {
+      sink_->OnSegment({start_ms, end_ms, CpuState::kExecuting, task_id, point});
+    }
+  }
+
+  void RecordIdle(double start_ms, double end_ms, const OperatingPoint& point) {
+    const double dt = end_ms - start_ms;
+    if (dt <= 0) {
+      return;
+    }
+    totals_.idle_ms += dt;
+    const double joules = IdleJoules(start_ms, end_ms, point);
+    totals_.idle_energy += joules;
+    if (residency_ != nullptr) {
+      auto& res = (*residency_)[machine_->IndexOf(point)];
+      res.idle_ms += dt;
+      res.idle_energy += joules;
+    }
+    if (sink_ != nullptr) {
+      sink_->OnSegment({start_ms, end_ms, CpuState::kIdle, -1, point});
+    }
+  }
+
+  // Halted during a mandatory stop interval (§4.1): time passes, charged to
+  // switching_ms; energy is host-defined (the model host charges none).
+  void RecordSwitchHalt(double start_ms, double end_ms,
+                        const OperatingPoint& point) {
+    const double dt = end_ms - start_ms;
+    if (dt <= 0) {
+      return;
+    }
+    totals_.switching_ms += dt;
+    OnSwitchHalt(start_ms, end_ms, point);
+    if (sink_ != nullptr) {
+      sink_->OnSegment({start_ms, end_ms, CpuState::kSwitching, -1, point});
+    }
+  }
+
+  const EngineTotals& totals() const { return totals_; }
+
+ protected:
+  // Joules consumed executing `work` over [start, end) at `point`.
+  virtual double ExecutionJoules(double start_ms, double end_ms, double work,
+                                 const OperatingPoint& point) = 0;
+  // Joules consumed idling over [start, end) at `point`.
+  virtual double IdleJoules(double start_ms, double end_ms,
+                            const OperatingPoint& point) = 0;
+  // Side-effect hook for switch-halt intervals (e.g. metering halted watts).
+  // The default charges nothing: halted cycles draw ~no energy (§3.1).
+  virtual void OnSwitchHalt(double start_ms, double end_ms,
+                            const OperatingPoint& point);
+
+ private:
+  EngineTotals totals_;
+  TraceSink* sink_ = nullptr;
+  const MachineSpec* machine_ = nullptr;
+  std::vector<PointResidency>* residency_ = nullptr;
+};
+
+// The simulation host's accountant: closed-form EnergyModel integration.
+// `final` (with inline hooks) so a host holding it by value pays no virtual
+// dispatch per segment.
+class ModelEnergyAccountant final : public EnergyAccountant {
+ public:
+  explicit ModelEnergyAccountant(const EnergyModel& model) : model_(model) {}
+
+ protected:
+  double ExecutionJoules(double start_ms, double end_ms, double work,
+                         const OperatingPoint& point) final {
+    (void)start_ms;
+    (void)end_ms;
+    return model_.ExecutionEnergy(work, point);
+  }
+  double IdleJoules(double start_ms, double end_ms,
+                    const OperatingPoint& point) final {
+    return model_.IdleEnergy(end_ms - start_ms, point);
+  }
+
+ private:
+  EnergyModel model_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_ENGINE_ENERGY_ACCOUNTANT_H_

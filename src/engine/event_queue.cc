@@ -1,0 +1,25 @@
+#include "src/engine/event_queue.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+bool EventQueue::HeapInvariantHolds() const {
+  for (size_t i = 1; i < heap_.size(); ++i) {
+    const size_t parent = (i - 1) / 2;
+    if (Later{}(heap_[parent], heap_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EventQueue::TestOnlySwapSlots(size_t a, size_t b) {
+  RTDVS_CHECK_LT(a, heap_.size());
+  RTDVS_CHECK_LT(b, heap_.size());
+  std::swap(heap_[a], heap_[b]);
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,75 @@
+// Ready-job selection keyed by the active Scheduler's priority order, plus
+// the preemption accounting both hosts derive from consecutive picks. The
+// job vector stays owned by the host (jobs are value types that hosts erase
+// and remap freely — the kernel renumbers dense task ids on unregister), so
+// selection is a scan under Scheduler::HigherPriority rather than a
+// persistent index; the scan is O(active jobs), which event-queue
+// scheduling already made the cheap part of a step.
+#ifndef SRC_ENGINE_READY_QUEUE_H_
+#define SRC_ENGINE_READY_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/rt/job.h"
+#include "src/rt/scheduler.h"
+#include "src/rt/task.h"
+#include "src/util/check.h"
+
+namespace rtdvs {
+
+class ReadyQueue {
+ public:
+  // `scheduler` must outlive the queue; rebind on policy hot-swap.
+  void BindScheduler(const Scheduler* scheduler) { scheduler_ = scheduler; }
+
+  // Highest-priority runnable job (finished/suspended skipped), or
+  // Scheduler::kNone. Inline: selection runs once per step on both hosts.
+  size_t Pick(const std::vector<Job>& jobs, const TaskSet& tasks) const {
+    RTDVS_CHECK(scheduler_ != nullptr) << "ReadyQueue used before BindScheduler";
+    return scheduler_->PickJob(jobs, tasks);
+  }
+
+  // Pick() plus preemption detection: increments *preemptions when a
+  // different job wins while the previously picked invocation is still
+  // unfinished in `jobs`. Idle intervals do not reset the tracking (a job
+  // resuming after idle is not a preemption).
+  size_t PickTracked(const std::vector<Job>& jobs, const TaskSet& tasks,
+                     int64_t* preemptions) {
+    size_t running = Pick(jobs, tasks);
+    if (running == Scheduler::kNone) {
+      return running;
+    }
+    const Job& job = jobs[running];
+    if (previous_task_ >= 0 && (job.task_id != previous_task_ ||
+                                job.invocation != previous_invocation_)) {
+      // Was the previously running job still unfinished?
+      for (const auto& other : jobs) {
+        if (other.task_id == previous_task_ &&
+            other.invocation == previous_invocation_ && !other.finished) {
+          ++*preemptions;
+          break;
+        }
+      }
+    }
+    previous_task_ = job.task_id;
+    previous_invocation_ = job.invocation;
+    return running;
+  }
+
+  // Forgets the previously picked invocation (call before a fresh run).
+  void ResetTracking() {
+    previous_task_ = -1;
+    previous_invocation_ = -1;
+  }
+
+ private:
+  const Scheduler* scheduler_ = nullptr;
+  int previous_task_ = -1;
+  int64_t previous_invocation_ = -1;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_ENGINE_READY_QUEUE_H_

@@ -1,4 +1,4 @@
-#include "src/sim/trace.h"
+#include "src/engine/trace.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,7 +1,7 @@
 // Execution trace recording and ASCII Gantt rendering, used to reproduce
 // the paper's example figures (2, 3, 5, 7) and for debugging.
-#ifndef SRC_SIM_TRACE_H_
-#define SRC_SIM_TRACE_H_
+#ifndef SRC_ENGINE_TRACE_H_
+#define SRC_ENGINE_TRACE_H_
 
 #include <cstdint>
 #include <string>
@@ -72,4 +72,4 @@ class Trace {
 
 }  // namespace rtdvs
 
-#endif  // SRC_SIM_TRACE_H_
+#endif  // SRC_ENGINE_TRACE_H_

@@ -1,0 +1,34 @@
+// Observer interface for execution traces. The EnergyAccountant and
+// SpeedController emit segments/events through this seam so the engine does
+// not care whether a host records a full Trace (simulation with
+// record_trace), nothing (kernel, sweep shards), or something custom.
+#ifndef SRC_ENGINE_TRACE_SINK_H_
+#define SRC_ENGINE_TRACE_SINK_H_
+
+#include "src/engine/trace.h"
+
+namespace rtdvs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSegment(const TraceSegment& segment) = 0;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+// Records into a Trace (merging/capacity rules live in Trace itself).
+class TraceRecorderSink : public TraceSink {
+ public:
+  explicit TraceRecorderSink(Trace* trace) : trace_(trace) {}
+  void OnSegment(const TraceSegment& segment) override {
+    trace_->AddSegment(segment);
+  }
+  void OnEvent(const TraceEvent& event) override { trace_->AddEvent(event); }
+
+ private:
+  Trace* trace_;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_ENGINE_TRACE_SINK_H_

@@ -15,35 +15,82 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-// Bridges DvsPolicy speed requests to PowerNow! register writes.
-class Kernel::Speed : public SpeedController {
+// Bridges DvsPolicy speed requests to PowerNow! register writes: the
+// DeviceSpeedController (src/engine/speed_controller.h) calls Apply and then
+// mirrors whatever point the hardware settled on.
+class Kernel::PowerNowDevice : public SpeedDevice {
  public:
-  explicit Speed(Kernel* kernel) : kernel_(kernel) { SyncFromCpu(); }
+  explicit PowerNowDevice(Kernel* kernel) : kernel_(kernel) {}
 
-  void SetOperatingPoint(const OperatingPoint& point) override {
-    bool ok = kernel_->powernow_->SetNormalizedPoint(kernel_->now_ms_, point);
+  void Apply(double now_ms, const OperatingPoint& point) override {
+    bool ok = kernel_->powernow_->SetNormalizedPoint(now_ms, point);
     RTDVS_CHECK(ok) << "policy requested frequency the PLL cannot produce: "
                     << point.ToString();
-    SyncFromCpu();
   }
 
-  const OperatingPoint& current() const override { return point_; }
-
-  void SyncFromCpu() {
-    point_.frequency = kernel_->cpu_.frequency_mhz() / K6Cpu::kMaxRatedMhz;
-    point_.voltage = kernel_->cpu_.voltage();
+  OperatingPoint Current() const override {
+    return {kernel_->cpu_.frequency_mhz() / K6Cpu::kMaxRatedMhz,
+            kernel_->cpu_.voltage()};
   }
 
  private:
   Kernel* kernel_;
-  OperatingPoint point_;
+};
+
+// The kernel's EnergyAccountant (src/engine/energy_accountant.h): meters
+// SystemPowerModel watts into the PowerMeter, Figure 15 style, while the
+// base class keeps the busy/idle/halt wall-clock partition and work totals.
+class Kernel::MeteredAccountant : public EnergyAccountant {
+ public:
+  explicit MeteredAccountant(Kernel* kernel) : kernel_(kernel) {}
+
+ protected:
+  double ExecutionJoules(double start_ms, double end_ms, double work,
+                         const OperatingPoint& point) override {
+    (void)work;
+    (void)point;
+    // Watts from the live hardware registers, not the normalized point: a
+    // round-trip through MachineSpec would perturb the metered value.
+    const double watts = kernel_->options_.power.ActiveWatts(
+        kernel_->cpu_.frequency_mhz(), kernel_->cpu_.voltage());
+    kernel_->meter_.Accumulate(start_ms, end_ms, watts);
+    return watts * (end_ms - start_ms) / 1000.0;
+  }
+
+  double IdleJoules(double start_ms, double end_ms,
+                    const OperatingPoint& point) override {
+    (void)point;
+    const double watts = kernel_->options_.power.HaltedWatts();
+    kernel_->meter_.Accumulate(start_ms, end_ms, watts);
+    return watts * (end_ms - start_ms) / 1000.0;
+  }
+
+  void OnSwitchHalt(double start_ms, double end_ms,
+                    const OperatingPoint& point) override {
+    (void)point;
+    kernel_->meter_.Accumulate(start_ms, end_ms,
+                               kernel_->options_.power.HaltedWatts());
+  }
+
+ private:
+  Kernel* kernel_;
 };
 
 Kernel::Kernel(KernelOptions options)
-    : options_(options), scheduler_(MakeScheduler(SchedulerKind::kEdf)) {
+    : options_(options),
+      scheduler_(MakeScheduler(SchedulerKind::kEdf)),
+      machine_(PowerNowModule::ExportedMachineSpec()) {
+  if (options_.ideal_transitions) {
+    cpu_.set_allow_zero_sgtc(true);
+  }
   powernow_ = std::make_unique<PowerNowModule>(&cpu_, &procfs_);
   powernow_->set_procfs_clock(&now_ms_);
-  speed_ = std::make_unique<Speed>(this);
+  powernow_->set_ideal_transitions(options_.ideal_transitions);
+  device_ = std::make_unique<PowerNowDevice>(this);
+  speed_ = std::make_unique<DeviceSpeedController>(device_.get(), &now_ms_);
+  accountant_ = std::make_unique<MeteredAccountant>(this);
+  context_builder_.Bind(&snapshot_, &machine_);
+  ready_.BindScheduler(scheduler_.get());
   procfs_.RegisterFile(
       "/proc/rtdvs/tasks", [this] { return ReadTasksFile(); },
       [this](const std::string& data) { return WriteTasksFile(data); });
@@ -78,6 +125,7 @@ void Kernel::LoadPolicy(std::unique_ptr<DvsPolicy> policy) {
   policy_ = std::move(policy);
   scheduler_ =
       MakeScheduler(policy_ ? policy_->scheduler_kind() : SchedulerKind::kEdf);
+  ready_.BindScheduler(scheduler_.get());
   ReinitializePolicy();
 }
 
@@ -181,35 +229,18 @@ std::optional<double> Kernel::FirstReleaseMs(int handle) const {
 }
 
 void Kernel::BuildContext() {
-  ctx_.now_ms = now_ms_;
-  ctx_.tasks = &snapshot_;
-  static const MachineSpec kMachine = PowerNowModule::ExportedMachineSpec();
-  ctx_.machine = &kMachine;
-  ctx_.cumulative_busy_ms = report_.busy_ms;
-  ctx_.cumulative_idle_ms = report_.idle_ms;
-  ctx_.cumulative_work = report_.total_work_executed;
-  ctx_.views.assign(tasks_.size(), TaskRuntimeView{});
-  for (size_t i = 0; i < tasks_.size(); ++i) {
-    auto& view = ctx_.views[i];
-    view.next_deadline_ms = tasks_[i].next_release_ms;
-    view.cumulative_executed = tasks_[i].cumulative_executed;
-    view.last_actual_work = tasks_[i].last_actual_work;
-  }
-  for (const auto& job : jobs_) {
-    if (job.finished) {
-      continue;
-    }
-    auto& view = ctx_.views[static_cast<size_t>(job.task_id)];
-    if (!view.has_active_job || job.release_ms < view.next_deadline_ms) {
-      view.has_active_job = true;
-      view.next_deadline_ms = job.deadline_ms;
-      view.executed_in_invocation = job.executed_work;
-      view.worst_case_remaining = job.RemainingWorstCaseWork();
-    }
-  }
+  context_builder_.Build(
+      now_ms_, jobs_, accountant_->totals(),
+      [this](int id) {
+        const KernelTask& task = tasks_[static_cast<size_t>(id)];
+        return ContextBuilder::TaskSnapshot{task.next_release_ms,
+                                            task.cumulative_executed,
+                                            task.last_actual_work};
+      },
+      &ctx_);
 }
 
-size_t Kernel::PickJobIndex() const { return scheduler_->PickJob(jobs_, snapshot_); }
+size_t Kernel::PickJobIndex() const { return ready_.Pick(jobs_, snapshot_); }
 
 double Kernel::NextReleaseTime() const {
   double t = kInf;
@@ -258,7 +289,6 @@ void Kernel::ReleaseDueJobs(std::vector<int>* released_dense) {
 
 void Kernel::RunUntil(double t_ms) {
   RTDVS_CHECK_GE(t_ms, now_ms_);
-  const MachineSpec machine = PowerNowModule::ExportedMachineSpec();
 
   while (now_ms_ < t_ms - kTimeEpsMs) {
     size_t running = PickJobIndex();
@@ -280,29 +310,25 @@ void Kernel::RunUntil(double t_ms) {
     t_next = std::max(t_next, now_ms_);
     t_next = std::min(t_next, t_ms);
 
-    // Integrate power over [now_ms_, t_next).
-    double volts = cpu_.voltage();
-    double mhz = cpu_.frequency_mhz();
+    // Integrate power over [now_ms_, t_next) through the shared accountant
+    // (the MeteredAccountant reads watts off the live cpu_ registers).
+    const OperatingPoint point = speed_->current();
     if (running != Scheduler::kNone) {
       exec_start = std::min(std::max(exec_start, now_ms_), t_next);
-      if (exec_start > now_ms_) {
-        // Halted in a mandatory stop interval.
-        meter_.Accumulate(now_ms_, exec_start, options_.power.HaltedWatts());
-        report_.transition_halt_ms += exec_start - now_ms_;
-      }
+      // Halted in a mandatory stop interval.
+      accountant_->RecordSwitchHalt(now_ms_, exec_start, point);
       if (t_next > exec_start) {
         Job& job = jobs_[running];
         double work = std::min((t_next - exec_start) * f_norm,
                                job.RemainingActualWork());
         job.executed_work += work;
         tasks_[static_cast<size_t>(job.task_id)].cumulative_executed += work;
-        report_.total_work_executed += work;
-        report_.busy_ms += t_next - exec_start;
-        meter_.Accumulate(exec_start, t_next, options_.power.ActiveWatts(mhz, volts));
+        accountant_->RecordExecution(exec_start, t_next, work, job.task_id, point);
       }
     } else if (t_next > now_ms_) {
-      meter_.Accumulate(now_ms_, t_next, options_.power.HaltedWatts());
-      report_.idle_ms += t_next - now_ms_;
+      // A transition can overlap an idle window; the prototype halts either
+      // way, so the whole span is charged as idle at halted watts.
+      accountant_->RecordIdle(now_ms_, t_next, point);
     }
     now_ms_ = t_next;
     if (now_ms_ >= t_ms - kTimeEpsMs) {
@@ -367,6 +393,11 @@ KernelReport Kernel::Report() const {
   report.voltage_transitions = powernow_->voltage_transitions();
   report.frequency_transitions = powernow_->frequency_only_transitions();
   report.cpu_crashed = cpu_.crashed();
+  const EngineTotals& totals = accountant_->totals();
+  report.busy_ms = totals.busy_ms;
+  report.idle_ms = totals.idle_ms;
+  report.transition_halt_ms = totals.switching_ms;
+  report.total_work_executed = totals.work;
   return report;
 }
 

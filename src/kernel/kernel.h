@@ -24,6 +24,10 @@
 #include <vector>
 
 #include "src/dvs/policy.h"
+#include "src/engine/context_builder.h"
+#include "src/engine/energy_accountant.h"
+#include "src/engine/ready_queue.h"
+#include "src/engine/speed_controller.h"
 #include "src/kernel/powernow_module.h"
 #include "src/kernel/procfs.h"
 #include "src/platform/k6_cpu.h"
@@ -50,6 +54,11 @@ struct KernelOptions {
   // policies — actual execution is unaffected. Default: two worst-case
   // voltage transitions. Clamped so padded WCET never exceeds the period.
   double wcet_pad_ms = 2 * 10 * 4096.0 / (100.0 * 1000.0);  // 2 x 0.4096 ms
+  // Program SGTC = 0 on every PowerNow! transition, eliminating the
+  // mandatory stop interval. Not real hardware behaviour — used by
+  // validation rigs comparing the kernel against switch_time_ms = 0
+  // simulations (tests/kernel/sim_kernel_parity_test.cc).
+  bool ideal_transitions = false;
 };
 
 struct KernelTaskParams {
@@ -114,7 +123,10 @@ class Kernel {
   const PowerMeter& power_meter() const { return meter_; }
 
  private:
-  class Speed;  // SpeedController bridging policies to the PowerNow module
+  // SpeedDevice bridging DeviceSpeedController to the PowerNow module.
+  class PowerNowDevice;
+  // EnergyAccountant metering SystemPowerModel watts into the PowerMeter.
+  class MeteredAccountant;
 
   struct KernelTask {
     int handle = -1;
@@ -149,7 +161,17 @@ class Kernel {
   TaskSet snapshot_;                // dense TaskSet view handed to policies
   std::vector<Job> jobs_;           // Job::task_id holds the DENSE index
   PolicyContext ctx_;
-  std::unique_ptr<Speed> speed_;
+
+  // Engine components (src/engine/) composed on the kernel's hardware; the
+  // simulator composes the same ContextBuilder / EnergyAccountant /
+  // SpeedController seams on modeled state.
+  MachineSpec machine_;             // = PowerNowModule::ExportedMachineSpec()
+  ContextBuilder context_builder_;
+  ReadyQueue ready_;
+  std::unique_ptr<SpeedDevice> device_;
+  std::unique_ptr<DeviceSpeedController> speed_;
+  std::unique_ptr<EnergyAccountant> accountant_;
+
   std::optional<double> wakeup_ms_;
   Pcg32 rng_{0x6b65726e656cULL};  // feeds the per-task execution-time models
   bool was_idle_ = false;

@@ -49,7 +49,9 @@ bool PowerNowModule::SetFrequencyMhz(double now_ms, double mhz) {
   K6Cpu::Epmr epmr;
   epmr.fid = static_cast<uint8_t>(fid);
   epmr.vid = vid;
-  epmr.sgtc_units = voltage_changes ? kSgtcVoltageChange : kSgtcFrequencyOnly;
+  epmr.sgtc_units = ideal_transitions_
+                        ? 0u
+                        : (voltage_changes ? kSgtcVoltageChange : kSgtcFrequencyOnly);
   cpu_->WriteEpmr(now_ms, epmr);
   if (voltage_changes) {
     ++voltage_transitions_;

@@ -50,6 +50,11 @@ class PowerNowModule {
   // The procfs clock used to timestamp writes arriving through /proc.
   void set_procfs_clock(const double* now_ms) { procfs_now_ms_ = now_ms; }
 
+  // Program SGTC = 0 on every transition (no stop interval). Requires the
+  // CPU to allow zero SGTC (K6Cpu::set_allow_zero_sgtc); used by validation
+  // rigs comparing against ideal-switch simulations.
+  void set_ideal_transitions(bool ideal) { ideal_transitions_ = ideal; }
+
  private:
   std::string ReadCtl() const;
   bool WriteCtl(const std::string& data);
@@ -57,6 +62,7 @@ class PowerNowModule {
   K6Cpu* cpu_;
   ProcFs* procfs_;
   const double* procfs_now_ms_ = nullptr;
+  bool ideal_transitions_ = false;
   int64_t voltage_transitions_ = 0;
   int64_t frequency_only_transitions_ = 0;
 };

@@ -33,7 +33,8 @@ bool K6Cpu::IsStable(double mhz, double volts) {
 void K6Cpu::WriteEpmr(double now_ms, const Epmr& value) {
   RTDVS_CHECK_LT(value.fid, FrequencyTableMhz().size()) << "invalid FID";
   RTDVS_CHECK_LT(value.vid, VoltageTable().size()) << "unsupported VID on this board";
-  RTDVS_CHECK_GE(value.sgtc_units, 1u) << "SGTC must be at least one unit";
+  RTDVS_CHECK(value.sgtc_units >= 1u || allow_zero_sgtc_)
+      << "SGTC must be at least one unit";
   SyncTsc(now_ms);
   epmr_ = value;
   transition_end_ms_ = now_ms + static_cast<double>(value.sgtc_units) * kSgtcUnitMs;

@@ -77,6 +77,11 @@ class K6Cpu {
   // True when (mhz, volts) is within the empirically determined envelope.
   static bool IsStable(double mhz, double volts);
 
+  // Real hardware requires SGTC >= 1; validation rigs (e.g. the sim/kernel
+  // parity test) may opt into SGTC = 0 writes, which transition with no
+  // stop interval at all.
+  void set_allow_zero_sgtc(bool allow) { allow_zero_sgtc_ = allow; }
+
   int64_t transition_count() const { return transition_count_; }
   std::string ToString() const;
 
@@ -87,6 +92,7 @@ class K6Cpu {
   double tsc_cycles_ = 0;  // cycles accumulated up to tsc_synced_ms_
   int64_t transition_count_ = 0;
   bool crashed_ = false;
+  bool allow_zero_sgtc_ = false;
 };
 
 }  // namespace rtdvs

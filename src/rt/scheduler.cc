@@ -16,10 +16,11 @@ std::string SchedulerKindName(SchedulerKind kind) {
 
 namespace {
 
-// Shared selection loop: `higher(a, b)` returns true when a strictly
-// outranks b.
-template <typename HigherFn>
-size_t PickBy(const std::vector<Job>& jobs, HigherFn higher) {
+// The shared selection loop, parameterized so each scheduler's PickJob
+// override inlines its own comparison (a virtual call per element would
+// dominate the per-step cost for these tiny job vectors).
+template <typename HigherPri>
+size_t PickWith(const std::vector<Job>& jobs, HigherPri&& higher) {
   size_t best = Scheduler::kNone;
   for (size_t i = 0; i < jobs.size(); ++i) {
     if (jobs[i].finished || jobs[i].suspended) {
@@ -32,32 +33,66 @@ size_t PickBy(const std::vector<Job>& jobs, HigherFn higher) {
   return best;
 }
 
-}  // namespace
-
-size_t EdfScheduler::PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const {
-  (void)tasks;
-  return PickBy(jobs, [](const Job& a, const Job& b) {
-    if (a.deadline_ms != b.deadline_ms) {
-      return a.deadline_ms < b.deadline_ms;
-    }
-    if (a.task_id != b.task_id) {
-      return a.task_id < b.task_id;
-    }
-    return a.release_ms < b.release_ms;
-  });
+inline bool EdfHigher(const Job& a, const Job& b) {
+  if (a.deadline_ms != b.deadline_ms) {
+    return a.deadline_ms < b.deadline_ms;
+  }
+  if (a.task_id != b.task_id) {
+    return a.task_id < b.task_id;
+  }
+  return a.release_ms < b.release_ms;
 }
 
-size_t RmScheduler::PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const {
-  return PickBy(jobs, [&tasks](const Job& a, const Job& b) {
-    double pa = tasks.task(a.task_id).period_ms;
-    double pb = tasks.task(b.task_id).period_ms;
-    if (pa != pb) {
-      return pa < pb;
+inline bool RmHigher(const Job& a, const Job& b, const TaskSet& tasks) {
+  double pa = tasks.task(a.task_id).period_ms;
+  double pb = tasks.task(b.task_id).period_ms;
+  if (pa != pb) {
+    return pa < pb;
+  }
+  if (a.task_id != b.task_id) {
+    return a.task_id < b.task_id;
+  }
+  return a.release_ms < b.release_ms;
+}
+
+}  // namespace
+
+// Fallback selection loop over the virtual HigherPriority (a strictly
+// outranks b) for scheduler subclasses that do not override PickJob.
+size_t Scheduler::PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) const {
+  size_t best = kNone;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].finished || jobs[i].suspended) {
+      continue;
     }
-    if (a.task_id != b.task_id) {
-      return a.task_id < b.task_id;
+    if (best == kNone || HigherPriority(jobs[i], jobs[best], tasks)) {
+      best = i;
     }
-    return a.release_ms < b.release_ms;
+  }
+  return best;
+}
+
+bool EdfScheduler::HigherPriority(const Job& a, const Job& b,
+                                  const TaskSet& tasks) const {
+  (void)tasks;
+  return EdfHigher(a, b);
+}
+
+size_t EdfScheduler::PickJob(const std::vector<Job>& jobs,
+                             const TaskSet& tasks) const {
+  (void)tasks;
+  return PickWith(jobs, EdfHigher);
+}
+
+bool RmScheduler::HigherPriority(const Job& a, const Job& b,
+                                 const TaskSet& tasks) const {
+  return RmHigher(a, b, tasks);
+}
+
+size_t RmScheduler::PickJob(const std::vector<Job>& jobs,
+                            const TaskSet& tasks) const {
+  return PickWith(jobs, [&tasks](const Job& a, const Job& b) {
+    return RmHigher(a, b, tasks);
   });
 }
 

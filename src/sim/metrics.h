@@ -8,10 +8,11 @@
 
 #include "src/cpu/operating_point.h"
 #include "src/dvs/policy_counters.h"
+#include "src/engine/energy_accountant.h"  // PointResidency
+#include "src/engine/trace.h"
 #include "src/rt/aperiodic.h"
 #include "src/rt/scheduler.h"
 #include "src/sim/audit.h"
-#include "src/sim/trace.h"
 
 namespace rtdvs {
 
@@ -31,15 +32,6 @@ struct TaskStats {
   double MeanResponseMs() const {
     return completions == 0 ? 0.0 : total_response_ms / static_cast<double>(completions);
   }
-};
-
-// Time and energy spent at one operating point.
-struct PointResidency {
-  OperatingPoint point;
-  double exec_ms = 0;
-  double idle_ms = 0;
-  double exec_energy = 0;
-  double idle_energy = 0;
 };
 
 struct SimResult {

@@ -14,38 +14,6 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-// SpeedController implementation: counts transitions, models the mandatory
-// halt interval, and records trace events.
-class Simulator::Speed : public SpeedController {
- public:
-  explicit Speed(Simulator* sim) : sim_(sim), point_(sim->machine_.max_point()) {}
-
-  void SetOperatingPoint(const OperatingPoint& point) override {
-    // Validate that policies only request points that exist on this machine.
-    sim_->machine_.IndexOf(point);
-    if (point == point_) {
-      return;
-    }
-    point_ = point;
-    ++sim_->result_.speed_switches;
-    if (sim_->options_.switch_time_ms > 0) {
-      blocked_until_ =
-          std::max(blocked_until_, sim_->now_ + sim_->options_.switch_time_ms);
-    }
-    if (sim_->options_.record_trace) {
-      sim_->result_.trace.AddEvent(
-          {sim_->now_, TraceEventKind::kSpeedChange, -1, point_});
-    }
-  }
-
-  const OperatingPoint& current() const override { return point_; }
-
-  Simulator* sim_;
-  OperatingPoint point_;
-  // Execution resumes only after this time (mandatory stop interval, §4.1).
-  double blocked_until_ = 0;
-};
-
 Simulator::Simulator(TaskSet tasks, MachineSpec machine, DvsPolicy* policy,
                      ExecTimeModel* exec_model, SimOptions options)
     : tasks_(std::move(tasks)),
@@ -55,7 +23,9 @@ Simulator::Simulator(TaskSet tasks, MachineSpec machine, DvsPolicy* policy,
       options_(options),
       scheduler_(MakeScheduler(policy->scheduler_kind())),
       energy_(options.idle_level, options.energy_coefficient),
-      rng_(options.seed) {
+      rng_(options.seed),
+      accountant_(energy_),
+      trace_sink_(&result_.trace) {
   RTDVS_CHECK(policy_ != nullptr);
   RTDVS_CHECK(exec_model_ != nullptr);
   RTDVS_CHECK_GT(options_.horizon_ms, 0.0);
@@ -72,22 +42,76 @@ Simulator::Simulator(TaskSet tasks, MachineSpec machine, DvsPolicy* policy,
 
 Simulator::~Simulator() = default;
 
-double Simulator::NextReleaseTime() const {
-  double t = kInf;
-  for (const auto& state : task_states_) {
-    t = std::min(t, state.next_release_ms);
-  }
-  return t;
-}
-
-double Simulator::EarliestActiveDeadlineAfter(double now) const {
-  double t = kInf;
-  for (const auto& job : jobs_) {
-    if (!job.finished && job.deadline_ms > now + kTimeEpsMs) {
-      t = std::min(t, job.deadline_ms);
+double Simulator::NextQueuedEventTime() {
+  while (!events_.Empty()) {
+    const EngineEvent& top = events_.Top();
+    switch (top.type) {
+      case EngineEventType::kDeadline:
+        // Stale when the job already finished (lazy invalidation) or the
+        // deadline was already handled by the value-based miss scan (events
+        // within kTimeEpsMs of now are "due now", not scheduling points).
+        if (!deadline_live_[top.payload - 1] ||
+            top.time_ms <= now_ + kTimeEpsMs) {
+          events_.Pop();
+          continue;
+        }
+        return top.time_ms;
+      case EngineEventType::kPolicyTimer:
+        // Stale when superseded by a newer NextWakeupMs value, or already
+        // due (OnWakeup fires from the value check in the event loop; a due
+        // timer never becomes a scheduling point of its own).
+        if (top.payload != timer_generation_ || top.time_ms <= now_ + kTimeEpsMs) {
+          events_.Pop();
+          continue;
+        }
+        return top.time_ms;
+      default:
+        // Releases are the boot events (t = phase, possibly == now) and
+        // always valid; the horizon never staleness-checks.
+        return top.time_ms;
     }
   }
-  return t;
+  return kInf;
+}
+
+void Simulator::ConsumeDueEvents() {
+  due_releases_.clear();
+  while (!events_.Empty() && events_.Top().time_ms <= now_ + kTimeEpsMs) {
+    const EngineEvent event = events_.Pop();
+    if (event.type == EngineEventType::kRelease) {
+      due_releases_.push_back(event.task_id);
+    }
+  }
+  // Task-id order keeps exec-model RNG draws and policy release callbacks
+  // in the order the monolithic per-task scan produced.
+  std::sort(due_releases_.begin(), due_releases_.end());
+  due_releases_.erase(std::unique(due_releases_.begin(), due_releases_.end()),
+                      due_releases_.end());
+}
+
+void Simulator::SyncPolicyTimer(const std::optional<double>& wakeup) {
+  if (wakeup == queued_wakeup_) {
+    return;
+  }
+  queued_wakeup_ = wakeup;
+  ++timer_generation_;
+  if (wakeup.has_value() && *wakeup < kInf) {
+    events_.Push(*wakeup, EngineEventType::kPolicyTimer, -1, timer_generation_);
+  }
+}
+
+void Simulator::QueueJobDeadline(Job* job) {
+  job->uid = next_job_uid_++;
+  deadline_live_.push_back(1);
+  // A periodic job's deadline coincides exactly with its task's next release
+  // (both are release + period), and ReleaseDueJobs queues that release
+  // event unconditionally — so a separate deadline event would be a
+  // duplicate scheduling point. Only server jobs need one: CBS wake and
+  // postpone set deadlines that track no release.
+  if (IsServerJob(*job)) {
+    events_.Push(job->deadline_ms, EngineEventType::kDeadline, job->task_id,
+                 job->uid);
+  }
 }
 
 double Simulator::EffectiveRemaining(const Job& job) const {
@@ -100,6 +124,7 @@ double Simulator::EffectiveRemaining(const Job& job) const {
 void Simulator::FinalizeJobCompletion(Job* job, double now) {
   job->finished = true;
   job->completion_ms = now;
+  deadline_live_[job->uid - 1] = 0;
   if (IsServerJob(*job)) {
     // What the server actually consumed is what DVS bookkeeping (cc_i in
     // ccEDF) may reclaim until the next replenishment.
@@ -153,7 +178,7 @@ bool Simulator::MaybeCompleteServerJob(Job* job, double now) {
 }
 
 void Simulator::ReleaseDueJobs(double now, std::vector<int>* released) {
-  for (int id = 0; id < tasks_.size(); ++id) {
+  for (int id : due_releases_) {
     auto& state = task_states_[static_cast<size_t>(id)];
     const Task& task = tasks_.task(id);
     while (state.next_release_ms <= now + kTimeEpsMs) {
@@ -176,6 +201,7 @@ void Simulator::ReleaseDueJobs(double now, std::vector<int>* released) {
       job.deadline_ms = state.next_release_ms + task.period_ms;
       job.wcet_work = task.wcet_ms;
       job.actual_work = fraction * task.wcet_ms;
+      QueueJobDeadline(&job);
       jobs_.push_back(job);
       ++state.next_invocation;
       state.next_release_ms += task.period_ms;
@@ -186,53 +212,22 @@ void Simulator::ReleaseDueJobs(double now, std::vector<int>* released) {
       }
       released->push_back(id);
     }
+    if (state.next_release_ms < kInf) {
+      events_.Push(state.next_release_ms, EngineEventType::kRelease, id);
+    }
   }
 }
 
 void Simulator::BuildContext(double now) {
-  ctx_.now_ms = now;
-  ctx_.tasks = &tasks_;
-  ctx_.machine = &machine_;
-  // Wall-clock totals for utilization-feedback policies. The kernel layer
-  // has always populated these (kernel.cc); the simulator did not, so the
-  // interval baseline measured zero work per window and decayed to the
-  // minimum frequency regardless of load — found by differential testing
-  // against the reference simulator (tests/sim/differential_test.cc).
-  ctx_.cumulative_busy_ms = result_.busy_ms;
-  ctx_.cumulative_idle_ms = result_.idle_ms;
-  ctx_.cumulative_work = result_.total_work_executed;
-  ctx_.views.resize(static_cast<size_t>(tasks_.size()));
-  for (int id = 0; id < tasks_.size(); ++id) {
-    auto& view = ctx_.views[static_cast<size_t>(id)];
-    const auto& state = task_states_[static_cast<size_t>(id)];
-    view.has_active_job = false;
-    view.next_deadline_ms = state.next_release_ms;
-    view.executed_in_invocation = 0;
-    view.worst_case_remaining = 0;
-    view.cumulative_executed = state.cumulative_executed;
-    view.last_actual_work = state.last_actual_work;
-  }
-  // Earliest unfinished job per task defines the "current invocation".
-  // Track the chosen job's release explicitly: comparing a candidate's
-  // release against the chosen DEADLINE happens to work for strictly
-  // periodic jobs (deadline = release + period) but resolves wrongly for
-  // backlogged tasks under MissPolicy::kContinueLate and for CBS
-  // replacement jobs, whose release/deadline ordering differs.
-  chosen_release_.assign(static_cast<size_t>(tasks_.size()), kInf);
-  for (const auto& job : jobs_) {
-    if (job.finished) {
-      continue;
-    }
-    auto& view = ctx_.views[static_cast<size_t>(job.task_id)];
-    double& chosen = chosen_release_[static_cast<size_t>(job.task_id)];
-    if (!view.has_active_job || job.release_ms < chosen) {
-      view.has_active_job = true;
-      chosen = job.release_ms;
-      view.next_deadline_ms = job.deadline_ms;
-      view.executed_in_invocation = job.executed_work;
-      view.worst_case_remaining = job.RemainingWorstCaseWork();
-    }
-  }
+  context_builder_.Build(
+      now, jobs_, accountant_.totals(),
+      [this](int id) {
+        const TaskState& state = task_states_[static_cast<size_t>(id)];
+        return ContextBuilder::TaskSnapshot{state.next_release_ms,
+                                            state.cumulative_executed,
+                                            state.last_actual_work};
+      },
+      &ctx_);
 }
 
 SimResult Simulator::Run() {
@@ -242,12 +237,12 @@ SimResult Simulator::Run() {
   // be reused across runs; report the per-run delta.
   const PolicyCounters counters_at_start = policy_->counters();
 
-  const int n = tasks_.size();
-  task_states_.assign(static_cast<size_t>(n), TaskState{});
-  result_.task_stats.assign(static_cast<size_t>(n), TaskStats{});
-  for (int id = 0; id < n; ++id) {
-    task_states_[static_cast<size_t>(id)].next_release_ms = tasks_.task(id).phase_ms;
-    task_states_[static_cast<size_t>(id)].last_actual_work = tasks_.task(id).wcet_ms;
+  const size_t n = static_cast<size_t>(tasks_.size());
+  task_states_.assign(n, TaskState{});
+  result_.task_stats.assign(n, TaskStats{});
+  for (size_t id = 0; id < n; ++id) {
+    task_states_[id].next_release_ms = tasks_.task(static_cast<int>(id)).phase_ms;
+    task_states_[id].last_actual_work = tasks_.task(static_cast<int>(id)).wcet_ms;
   }
   if (options_.aperiodic.kind == ServerKind::kCbs) {
     // A CBS has no periodic releases; its activations are created by the
@@ -263,15 +258,33 @@ SimResult Simulator::Run() {
   }
   result_.trace.set_capacity_limit(options_.max_trace_segments);
 
-  speed_ = std::make_unique<Speed>(this);
+  // Wire the engine components for this run.
+  TraceSink* sink = options_.record_trace ? &trace_sink_ : nullptr;
+  accountant_.Reset();
+  accountant_.BindResidency(&machine_, &result_.residency);
+  accountant_.set_trace_sink(sink);
+  context_builder_.Bind(&tasks_, &machine_);
+  ready_.BindScheduler(scheduler_.get());
+  ready_.ResetTracking();
   now_ = 0;
+  speed_ = std::make_unique<ModeledSpeedController>(
+      &machine_, options_.switch_time_ms, &now_, sink);
+  events_.Clear();
+  deadline_live_.clear();
+  next_job_uid_ = 1;
+  events_.Push(options_.horizon_ms, EngineEventType::kHorizon);
+  for (size_t id = 0; id < n; ++id) {
+    if (task_states_[id].next_release_ms < kInf) {
+      events_.Push(task_states_[id].next_release_ms, EngineEventType::kRelease,
+                   static_cast<int>(id));
+    }
+  }
 
   BuildContext(now_);
   policy_->OnStart(ctx_, *speed_);
   std::optional<double> wakeup = policy_->NextWakeupMs(ctx_);
+  SyncPolicyTimer(wakeup);
 
-  int64_t previous_running_invocation = -1;
-  int previous_running_task = -1;
   bool was_idle = false;
 
   while (now_ < options_.horizon_ms - kTimeEpsMs) {
@@ -283,41 +296,19 @@ SimResult Simulator::Run() {
         }
       }
     }
-    size_t running = scheduler_->PickJob(jobs_, tasks_);
-
-    // Preemption accounting: a different unfinished job takes over while the
-    // previous one still has work left.
-    if (running != Scheduler::kNone) {
-      const Job& job = jobs_[running];
-      if (previous_running_task >= 0 &&
-          (job.task_id != previous_running_task ||
-           job.invocation != previous_running_invocation)) {
-        // Was the previously running job still unfinished?
-        for (const auto& other : jobs_) {
-          if (other.task_id == previous_running_task &&
-              other.invocation == previous_running_invocation && !other.finished) {
-            ++result_.preemptions;
-            break;
-          }
-        }
-      }
-      previous_running_task = job.task_id;
-      previous_running_invocation = job.invocation;
-    }
+    size_t running = ready_.PickTracked(jobs_, tasks_, &result_.preemptions);
 
     // --- Find the next event. ---
     double t_next = options_.horizon_ms;
-    t_next = std::min(t_next, NextReleaseTime());
-    t_next = std::min(t_next, EarliestActiveDeadlineAfter(now_));
-    if (wakeup.has_value() && *wakeup > now_ + kTimeEpsMs) {
-      t_next = std::min(t_next, *wakeup);
-    }
+    t_next = std::min(t_next, NextQueuedEventTime());
     if (aperiodic_.has_value() && aperiodic_->NextArrivalMs() > now_ + kTimeEpsMs) {
       t_next = std::min(t_next, aperiodic_->NextArrivalMs());
     }
     double exec_start = now_;
     if (running != Scheduler::kNone) {
-      exec_start = std::max(now_, speed_->blocked_until_);
+      // Completion and switch-halt-end depend on the current speed, so they
+      // are derived analytically each step rather than queued.
+      exec_start = std::max(now_, speed_->blocked_until_ms());
       double frequency = speed_->current().frequency;
       double completion =
           exec_start + EffectiveRemaining(jobs_[running]) / frequency;
@@ -332,14 +323,8 @@ SimResult Simulator::Run() {
     const OperatingPoint point = speed_->current();
     if (running != Scheduler::kNone) {
       exec_start = std::min(std::max(exec_start, now_), t_next);
-      double switch_dt = exec_start - now_;
-      if (switch_dt > 0) {
-        // Halted during a transition: time passes, (almost) no energy (§3.1).
-        result_.switching_ms += switch_dt;
-        if (options_.record_trace) {
-          result_.trace.AddSegment({now_, exec_start, CpuState::kSwitching, -1, point});
-        }
-      }
+      // Halted during a transition: time passes, (almost) no energy (§3.1).
+      accountant_.RecordSwitchHalt(now_, exec_start, point);
       double exec_dt = t_next - exec_start;
       if (exec_dt > 0) {
         Job& job = jobs_[running];
@@ -352,43 +337,16 @@ SimResult Simulator::Run() {
         job.executed_work += work;
         task_states_[static_cast<size_t>(job.task_id)].cumulative_executed += work;
         result_.task_stats[static_cast<size_t>(job.task_id)].executed_work += work;
-        result_.total_work_executed += work;
-        result_.busy_ms += exec_dt;
-        double joules = energy_.ExecutionEnergy(work, point);
-        result_.exec_energy += joules;
-        auto& res = result_.residency[machine_.IndexOf(point)];
-        res.exec_ms += exec_dt;
-        res.exec_energy += joules;
-        if (options_.record_trace) {
-          result_.trace.AddSegment(
-              {exec_start, t_next, CpuState::kExecuting, job.task_id, point});
-        }
+        accountant_.RecordExecution(exec_start, t_next, work, job.task_id, point);
       }
     } else {
       // The mandatory halt applies on the idle path too: an OnIdle (or
       // completion-time) speed change with switch_time_ms > 0 halts the
       // processor just as it does before execution resumes. Charge the halt
       // window to switching_ms — not idle energy at the new point.
-      double halt_end = std::clamp(speed_->blocked_until_, now_, t_next);
-      double switch_dt = halt_end - now_;
-      if (switch_dt > 0) {
-        result_.switching_ms += switch_dt;
-        if (options_.record_trace) {
-          result_.trace.AddSegment({now_, halt_end, CpuState::kSwitching, -1, point});
-        }
-      }
-      double idle_dt = t_next - halt_end;
-      if (idle_dt > 0) {
-        result_.idle_ms += idle_dt;
-        double joules = energy_.IdleEnergy(idle_dt, point);
-        result_.idle_energy += joules;
-        auto& res = result_.residency[machine_.IndexOf(point)];
-        res.idle_ms += idle_dt;
-        res.idle_energy += joules;
-        if (options_.record_trace) {
-          result_.trace.AddSegment({halt_end, t_next, CpuState::kIdle, -1, point});
-        }
-      }
+      double halt_end = std::clamp(speed_->blocked_until_ms(), now_, t_next);
+      accountant_.RecordSwitchHalt(now_, halt_end, point);
+      accountant_.RecordIdle(halt_end, t_next, point);
     }
     now_ = t_next;
     if (now_ >= options_.horizon_ms - kTimeEpsMs) {
@@ -397,6 +355,7 @@ SimResult Simulator::Run() {
 
     // --- Apply state changes due at now_: arrivals, completions, misses,
     // releases. ---
+    ConsumeDueEvents();
     if (aperiodic_.has_value()) {
       aperiodic_->AdmitArrivals(now_);
     }
@@ -440,6 +399,7 @@ SimResult Simulator::Run() {
         replacement.deadline_ms = new_deadline;
         replacement.wcet_work = options_.aperiodic.budget_ms;
         replacement.actual_work = options_.aperiodic.budget_ms;
+        QueueJobDeadline(&replacement);
         jobs_.push_back(replacement);
         ++result_.releases;
         ++result_.task_stats[static_cast<size_t>(server_task_id_)].releases;
@@ -454,6 +414,7 @@ SimResult Simulator::Run() {
         job.deadline_ms = deadline;
         job.wcet_work = options_.aperiodic.budget_ms;
         job.actual_work = options_.aperiodic.budget_ms;
+        QueueJobDeadline(&job);
         jobs_.push_back(job);
         ++result_.releases;
         ++result_.task_stats[static_cast<size_t>(server_task_id_)].releases;
@@ -481,6 +442,7 @@ SimResult Simulator::Run() {
         if (options_.miss_policy == MissPolicy::kAbortJob) {
           job.finished = true;
           job.completion_ms = now_;
+          deadline_live_[job.uid - 1] = 0;
           // Aborted jobs do not count as completions and record no response.
           ++result_.aborted;
           ++result_.task_stats[static_cast<size_t>(job.task_id)].aborted;
@@ -522,6 +484,7 @@ SimResult Simulator::Run() {
       policy_->OnWakeup(ctx_, *speed_);
     }
     wakeup = policy_->NextWakeupMs(ctx_);
+    SyncPolicyTimer(wakeup);
 
     // Idle notification: fires once per idle period.
     bool any_unfinished = false;
@@ -540,6 +503,14 @@ SimResult Simulator::Run() {
     was_idle = !any_unfinished;
   }
 
+  const EngineTotals& totals = accountant_.totals();
+  result_.busy_ms = totals.busy_ms;
+  result_.idle_ms = totals.idle_ms;
+  result_.switching_ms = totals.switching_ms;
+  result_.total_work_executed = totals.work;
+  result_.exec_energy = totals.exec_energy;
+  result_.idle_energy = totals.idle_energy;
+  result_.speed_switches = speed_->switch_count();
   result_.lower_bound_energy = MinimumExecutionEnergy(
       result_.total_work_executed, options_.horizon_ms, machine_,
       EnergyModel(0.0, options_.energy_coefficient));

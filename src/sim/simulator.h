@@ -4,19 +4,33 @@
 // releases, task completions, deadline checks, policy timer wakeups, and the
 // horizon — between events the processor state is constant, so energy
 // integrates in closed form.
+//
+// The simulator is a thin driver over the shared engine components
+// (src/engine/): an EventQueue schedules releases/deadlines/policy timers
+// in O(log n) instead of rescanning every job per event, a ReadyQueue picks
+// the running job under the active Scheduler, a ContextBuilder derives the
+// PolicyContext, a ModelEnergyAccountant integrates time/energy per
+// segment, and a ModeledSpeedController services policy speed requests.
+// The kernel (src/kernel/) composes the same ContextBuilder /
+// EnergyAccountant / SpeedController seams on its register-level hardware.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
-
-#include <optional>
 
 #include "src/cpu/energy_model.h"
 #include "src/cpu/machine_spec.h"
 #include "src/dvs/policy.h"
+#include "src/engine/context_builder.h"
+#include "src/engine/energy_accountant.h"
+#include "src/engine/event_queue.h"
+#include "src/engine/ready_queue.h"
+#include "src/engine/speed_controller.h"
+#include "src/engine/trace_sink.h"
 #include "src/rt/aperiodic.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/job.h"
@@ -67,14 +81,12 @@ class Simulator {
   // keep bookkeeping, models consume randomness).
   Simulator(TaskSet tasks, MachineSpec machine, DvsPolicy* policy,
             ExecTimeModel* exec_model, SimOptions options);
-  ~Simulator();  // out of line: Speed is an incomplete type here
+  ~Simulator();
 
   // Runs the full horizon and returns the metrics. May be called once.
   SimResult Run();
 
  private:
-  class Speed;  // SpeedController implementation
-
   struct TaskState {
     double next_release_ms = 0;
     int64_t next_invocation = 0;
@@ -82,10 +94,22 @@ class Simulator {
     double last_actual_work = 0;  // defaults to C_i
   };
 
+  // Creates all invocations due at `now` for the tasks in due_releases_
+  // (set by ConsumeDueEvents), queueing each new job's deadline event and
+  // the task's next release event.
   void ReleaseDueJobs(double now, std::vector<int>* released);
   void BuildContext(double now);
-  double EarliestActiveDeadlineAfter(double now) const;
-  double NextReleaseTime() const;
+  // Registers the job with the event queue (uid + deadline event).
+  void QueueJobDeadline(Job* job);
+  // Earliest valid queued event time, discarding stale entries (deadline
+  // events whose job died or already passed, superseded policy timers).
+  double NextQueuedEventTime();
+  // Pops every event due at now_ (within kTimeEpsMs) and collects the due
+  // release task ids, sorted, into due_releases_.
+  void ConsumeDueEvents();
+  // Re-arms the policy-timer event when the policy's requested wakeup
+  // changed; older timer events are superseded via the generation counter.
+  void SyncPolicyTimer(const std::optional<double>& wakeup);
   bool IsServerJob(const Job& job) const {
     return server_task_id_ >= 0 && job.task_id == server_task_id_;
   }
@@ -109,12 +133,26 @@ class Simulator {
 
   std::vector<TaskState> task_states_;
   std::vector<Job> jobs_;
-  // Release time of each task's chosen "current invocation"; scratch for
-  // BuildContext (member to avoid per-event allocation).
-  std::vector<double> chosen_release_;
   PolicyContext ctx_;
   SimResult result_;
-  std::unique_ptr<Speed> speed_;
+
+  // Engine components (src/engine/).
+  EventQueue events_;
+  ReadyQueue ready_;
+  ContextBuilder context_builder_;
+  ModelEnergyAccountant accountant_;
+  TraceRecorderSink trace_sink_;
+  std::unique_ptr<ModeledSpeedController> speed_;
+  // Liveness of job uid u at [u - 1]; validates queued deadline events.
+  // Uids are assigned densely from 1 per run, so a flat vector beats a hash
+  // set (no allocation per job on the release hot path).
+  std::vector<uint8_t> deadline_live_;
+  uint64_t next_job_uid_ = 1;
+  // Only the newest queued policy-timer event is valid.
+  uint64_t timer_generation_ = 0;
+  std::optional<double> queued_wakeup_;
+  std::vector<int> due_releases_;
+
   std::optional<AperiodicServerState> aperiodic_;
   int server_task_id_ = -1;
   double now_ = 0;

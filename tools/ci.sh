@@ -7,7 +7,8 @@
 # reference oracle; failing repro strings land in build-ci-plain/fuzz/).
 #
 #   tools/ci.sh              # all stages
-#   tools/ci.sh plain        # one: plain | asan-ubsan | tsan | bench-json | fuzz
+#   tools/ci.sh plain        # one: plain | asan-ubsan | tsan | bench-json |
+#                            #      tidy | fuzz
 #
 # Each stage builds into its own tree (build-ci-<stage>) so sanitizer flags
 # never leak between configurations. ctest labels: tier1 = fast unit suites,
@@ -75,6 +76,18 @@ stage_bench_json() {
   build-ci-plain/tools/rtdvs-json-check "$out"/BENCH_*.json
 }
 
+stage_tidy() {
+  echo "=== stage: clang-tidy over src/engine src/sim src/kernel ==="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping tidy stage"
+    return 0
+  fi
+  configure_and_build build-ci-plain -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  # Checks and per-check tuning live in .clang-tidy at the repo root.
+  git ls-files 'src/engine/*.cc' 'src/sim/*.cc' 'src/kernel/*.cc' |
+    xargs clang-tidy -p build-ci-plain --quiet
+}
+
 stage_fuzz() {
   echo "=== stage: differential fuzz, production vs reference oracle ==="
   configure_and_build build-ci-plain
@@ -102,16 +115,18 @@ case "$STAGE" in
   asan-ubsan) stage_asan_ubsan ;;
   tsan) stage_tsan ;;
   bench-json) stage_bench_json ;;
+  tidy) stage_tidy ;;
   fuzz) stage_fuzz ;;
   all)
     stage_plain
     stage_asan_ubsan
     stage_tsan
     stage_bench_json
+    stage_tidy
     stage_fuzz
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|bench-json|fuzz|all]" >&2
+    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|bench-json|tidy|fuzz|all]" >&2
     exit 1
     ;;
 esac
