@@ -1,0 +1,86 @@
+// Multiprocessor scaling: simulator throughput (sims/sec) and energy for
+// the same per-core utilization grid at M = 1, 2 and 4 cores, partitioned
+// first-fit. The M = 1 panel uses the exact Figure 9 configuration
+// (machine 0, 10 tasks, full worst-case demand), so its throughput is
+// directly comparable to bench_fig09_num_tasks — the cluster driver's
+// single-core path must not cost anything over the classic sweep.
+#include "bench/sweep_main.h"
+#include "src/engine/cluster.h"
+
+int main(int argc, char** argv) {
+  rtdvs::SweepBenchFlags flags;
+  if (!rtdvs::ParseSweepFlags(
+          argc, argv,
+          "Multiprocessor scaling: sims/sec and energy at M = 1, 2, 4 cores "
+          "(partitioned first-fit, per-core utilization axis).",
+          &flags)) {
+    return 1;
+  }
+  rtdvs::BenchJson json("mp_scaling");
+  rtdvs::RecordSweepFlags(flags, &json);
+
+  int64_t audit_violations = 0;
+  rtdvs::JsonValue summary = rtdvs::JsonValue::Object();
+  for (int cores : {1, 2, 4}) {
+    rtdvs::SweepOptions options;
+    options.policy_ids = {"edf", "cc_edf", "la_edf"};
+    options.num_tasks = 10;
+    options.idle_level = 0.0;
+    options.exec_model_factory = [] {
+      return std::make_unique<rtdvs::ConstantFractionModel>(1.0);
+    };
+    options.num_cores = cores;
+    options.mp_mode = rtdvs::MpMode::kPartitioned;
+    options.mp_partition = rtdvs::PartitionHeuristic::kFirstFit;
+    rtdvs::ApplySweepFlags(flags, &options);
+
+    const std::string title =
+        rtdvs::StrFormat("MP scaling: %d core%s (partitioned ff)", cores,
+                         cores == 1 ? "" : "s");
+    rtdvs::UtilizationSweep sweep(options);
+    rtdvs::SweepResult result = sweep.Run();
+    std::cout << "== " << title << " ==\n";
+    std::cout << "machine: " << options.machine.ToString() << "\n";
+    std::cout << "energy normalized to "
+              << (cores == 1 ? "plain EDF" : "cluster EDF") << "\n";
+    rtdvs::RenderEnergyTable(result, /*normalized=*/true).Print(std::cout);
+    rtdvs::WriteCsv(result, std::cout,
+                    rtdvs::StrFormat("csv,mp_scaling_m%d", cores));
+    int64_t rejections = 0;
+    double total_energy = 0.0;
+    int64_t samples = 0;
+    for (const auto& row : result.rows) {
+      for (const auto& cell : row.cells) {
+        rejections += cell.admission_rejections;
+        total_energy +=
+            cell.energy.mean() * static_cast<double>(cell.energy.count());
+        samples += static_cast<int64_t>(cell.energy.count());
+      }
+    }
+    if (rejections > 0) {
+      std::cout << rtdvs::StrFormat(
+          "admission: %lld policy-run(s) rejected by partitioning\n",
+          static_cast<long long>(rejections));
+    }
+    audit_violations += result.audit_violations;
+    std::cout << rtdvs::StrFormat(
+        "throughput: %.0f sims/s (%lld sims, %.0f ms wall, jobs=%d)\n\n",
+        result.profile.sims_per_sec,
+        static_cast<long long>(result.profile.simulations),
+        result.elapsed_wall_ms, result.options.jobs);
+    json.Add(title, "sweep", rtdvs::SweepResultToJson(result));
+
+    rtdvs::JsonValue& per_m =
+        summary.Set(rtdvs::StrFormat("m%d", cores), rtdvs::JsonValue::Object());
+    per_m.Set("sims_per_sec", result.profile.sims_per_sec);
+    per_m.Set("simulations", result.profile.simulations);
+    per_m.Set("mean_energy_per_sample",
+              samples == 0 ? 0.0 : total_energy / static_cast<double>(samples));
+    per_m.Set("admission_rejections", rejections);
+  }
+  json.AddValues("scaling summary", std::move(summary));
+  if (!json.WriteIfRequested(flags.json_path)) {
+    return 1;
+  }
+  return audit_violations > 0 ? 3 : 0;
+}

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/dvs/policy.h"
 #include "src/util/strings.h"
 
 namespace rtdvs {
@@ -77,6 +78,21 @@ std::unique_ptr<ExecTimeModel> MakeDemandModel(std::string_view spec) {
         std::make_unique<ConstantFractionModel>(1.0), *factor);
   }
   return nullptr;
+}
+
+SimRequest Scenario::ToSimRequest(const SimOptions& options) const {
+  SimRequest request;
+  request.tasks = tasks;
+  request.cluster.num_cores = num_cores;
+  request.cluster.machine = machine;
+  request.mode = mp_mode;
+  request.partition = mp_partition;
+  if (!policy_ids.empty()) {
+    request.policy_ids = policy_ids;
+  }
+  request.options = options;
+  request.options.aperiodic = server;
+  return request;
 }
 
 std::unique_ptr<ExecTimeModel> Scenario::MakeExecModel() const {
@@ -197,11 +213,74 @@ std::variant<Scenario, std::string> ParseScenario(std::string_view text) {
       continue;
     }
 
+    if (keyword == "cluster") {
+      if (fields.size() < 2 || fields.size() > 4) {
+        return Error(line_number,
+                     "cluster needs: cluster <num_cores> "
+                     "[mode=partitioned|global] [fit=ff|nf|bf|wf]");
+      }
+      auto cores = ParseInt(fields[1]);
+      if (!cores || *cores < 1 || *cores > 64) {
+        return Error(line_number, "cluster cores must be an integer in 1..64");
+      }
+      scenario.num_cores = static_cast<int>(*cores);
+      for (size_t i = 2; i < fields.size(); ++i) {
+        size_t eq = fields[i].find('=');
+        if (eq == std::string::npos) {
+          return Error(line_number, "expected key=value, got '" + fields[i] + "'");
+        }
+        std::string key = fields[i].substr(0, eq);
+        std::string value = fields[i].substr(eq + 1);
+        if (key == "mode") {
+          auto mode = ParseMpMode(value);
+          if (!mode) {
+            return Error(line_number,
+                         "unknown mode '" + value + "' (partitioned|global)");
+          }
+          scenario.mp_mode = *mode;
+        } else if (key == "fit") {
+          auto fit = ParsePartitionHeuristic(value);
+          if (!fit) {
+            return Error(line_number,
+                         "unknown fit '" + value + "' (ff|nf|bf|wf)");
+          }
+          scenario.mp_partition = *fit;
+        } else {
+          return Error(line_number, "unknown cluster option '" + key + "'");
+        }
+      }
+      continue;
+    }
+
+    if (keyword == "policies") {
+      if (fields.size() < 2) {
+        return Error(line_number, "policies needs: policies <id> [<id> ...]");
+      }
+      scenario.policy_ids.assign(fields.begin() + 1, fields.end());
+      for (const std::string& id : scenario.policy_ids) {
+        if (!IsValidPolicyId(id)) {
+          return Error(line_number, "unknown policy id '" + id + "'");
+        }
+      }
+      continue;
+    }
+
     return Error(line_number, "unknown keyword '" + keyword + "'");
   }
 
   if (scenario.tasks.empty()) {
     return std::string("scenario declares no tasks");
+  }
+  if (scenario.policy_ids.size() > 1 &&
+      scenario.policy_ids.size() != static_cast<size_t>(scenario.num_cores)) {
+    return StrFormat(
+        "policies declares %zu ids for %d cores (need one for every core, or "
+        "exactly one applied to all)",
+        scenario.policy_ids.size(), scenario.num_cores);
+  }
+  if (scenario.server.kind != ServerKind::kNone && scenario.num_cores > 1) {
+    return std::string(
+        "aperiodic servers require a single-core scenario (cluster 1)");
   }
   return scenario;
 }

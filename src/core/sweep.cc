@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "src/dvs/policy.h"
+#include "src/sim/mp_simulator.h"
 #include "src/util/check.h"
 #include "src/util/json.h"
 #include "src/util/strings.h"
@@ -30,21 +31,128 @@ struct ShardOutcome {
   // Violations from the EDF normalization baseline run (reported even when
   // "edf" is not among the swept policy ids).
   int64_t baseline_audit_violations = 0;
+  // Multiprocessor shards only: false when the baseline / a policy's
+  // partitioned admission rejected the generated set (its energy fields are
+  // then meaningless and the merge loop skips them). Always true at M = 1.
+  bool baseline_admitted = true;
   struct PerPolicy {
     double energy = 0;
     int64_t deadline_misses = 0;
     int64_t audit_violations = 0;
+    bool admitted = true;
     PolicyCounters counters;
   };
   std::vector<PerPolicy> policies;  // parallel to options.policy_ids
   std::vector<std::string> audit_messages;  // capped per shard
 };
 
+// Multiprocessor variant of RunShard: the same draw structure (task set,
+// then one workload seed), but every run goes through the cluster API and
+// the generator targets utilization * num_cores (per-core axis, see
+// SweepOptions). Kept as a separate function so the single-core path stays
+// byte-for-byte the legacy code — the M = 1 bit-identity guarantee is
+// structural.
+ShardOutcome RunMpShard(const SweepOptions& options, double utilization,
+                        Pcg32 set_rng) {
+  TaskSetGeneratorOptions gen_options;
+  gen_options.num_tasks = options.num_tasks;
+  gen_options.target_utilization =
+      utilization * static_cast<double>(options.num_cores);
+  TaskSetGenerator generator(gen_options);
+  TaskSet tasks = generator.Generate(set_rng);
+  uint64_t workload_seed =
+      (static_cast<uint64_t>(set_rng.NextU32()) << 32) | set_rng.NextU32();
+
+  SimRequest request;
+  request.tasks = tasks;
+  request.cluster.num_cores = options.num_cores;
+  request.cluster.machine = options.machine;
+  request.mode = options.mp_mode;
+  request.partition = options.mp_partition;
+  request.options.horizon_ms = options.horizon_ms;
+  request.options.idle_level = options.idle_level;
+  request.options.switch_time_ms = options.switch_time_ms;
+  request.options.miss_policy = options.miss_policy;
+  request.options.energy_coefficient = options.energy_coefficient;
+  request.options.audit = options.audit;
+  request.options.seed = workload_seed;
+
+  ShardOutcome outcome;
+  outcome.policies.resize(options.policy_ids.size());
+  // Cluster audit plus every per-core slice audit (partitioned slices carry
+  // their own single-core reports; powered-down cores audit nothing).
+  auto record_audit = [&outcome, utilization](const MpSimResult& result,
+                                              const char* policy_id,
+                                              int64_t* counter) {
+    constexpr size_t kMaxMessagesPerShard = 4;
+    auto add = [&](const AuditReport& report) {
+      *counter += static_cast<int64_t>(report.violations.size());
+      for (const auto& violation : report.violations) {
+        if (outcome.audit_messages.size() >= kMaxMessagesPerShard) {
+          break;
+        }
+        outcome.audit_messages.push_back(
+            StrFormat("[%s] u=%.2f %s: %s", AuditCheckName(violation.check),
+                      utilization, policy_id, violation.message.c_str()));
+      }
+    };
+    add(result.cluster_audit);
+    for (const SimResult& slice : result.cores) {
+      add(slice.audit);
+    }
+  };
+  auto run = [&options, &request](const std::string& id) {
+    SimRequest shard_request = request;
+    shard_request.policy_ids = {id};
+    auto model = options.exec_model_factory();
+    return RunClusterSimulation(shard_request, *model);
+  };
+
+  // Cluster-EDF baseline (partitioned-EDF or global-EDF, matching the
+  // sweep's mode) for normalization and the cluster-level bound.
+  MpSimResult edf_result = run("edf");
+  outcome.baseline_admitted = edf_result.admitted;
+  if (edf_result.admitted) {
+    outcome.edf_energy = edf_result.cluster.total_energy();
+    outcome.lower_bound = edf_result.cluster.lower_bound_energy;
+  }
+
+  for (size_t p = 0; p < options.policy_ids.size(); ++p) {
+    MpSimResult policy_result;
+    const MpSimResult* result = &edf_result;
+    if (options.policy_ids[p] != "edf") {
+      policy_result = run(options.policy_ids[p]);
+      result = &policy_result;
+    }
+    ShardOutcome::PerPolicy& per = outcome.policies[p];
+    per.admitted = result->admitted;
+    if (!result->admitted) {
+      continue;  // merge loop counts the rejection, no samples to add
+    }
+    per.energy = result->cluster.total_energy();
+    per.deadline_misses = result->cluster.deadline_misses;
+    per.counters = result->cluster.policy_counters;
+    record_audit(*result, options.policy_ids[p].c_str(),
+                 &per.audit_violations);
+  }
+  bool edf_in_list = false;
+  for (const auto& id : options.policy_ids) {
+    edf_in_list |= id == "edf";
+  }
+  if (!edf_in_list && edf_result.admitted) {
+    record_audit(edf_result, "edf", &outcome.baseline_audit_violations);
+  }
+  return outcome;
+}
+
 // Runs every policy on one generated task set. `set_rng` must be the fork
 // the serial grid order assigns to this shard; the draw sequence below is
 // byte-for-byte the one the original serial loop performed.
 ShardOutcome RunShard(const SweepOptions& options, double utilization,
                       Pcg32 set_rng) {
+  if (options.num_cores > 1) {
+    return RunMpShard(options, utilization, std::move(set_rng));
+  }
   TaskSetGeneratorOptions gen_options;
   gen_options.num_tasks = options.num_tasks;
   gen_options.target_utilization = utilization;
@@ -185,6 +293,10 @@ UtilizationSweep::UtilizationSweep(SweepOptions options) : options_(std::move(op
   RTDVS_CHECK_GT(options_.tasksets_per_point, 0);
   RTDVS_CHECK_GT(options_.num_tasks, 0);
   RTDVS_CHECK_GE(options_.jobs, 0);
+  RTDVS_CHECK_GE(options_.num_cores, 1);
+  // UUniFast's per-task utilizations are unbounded above 1 once the total
+  // exceeds 1, so it cannot feed the scaled multiprocessor target.
+  RTDVS_CHECK(!(options_.use_uunifast && options_.num_cores > 1));
   RTDVS_CHECK(options_.exec_model_factory != nullptr);
 }
 
@@ -279,9 +391,14 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
     row.cells.resize(options_.policy_ids.size());
     for (size_t si = 0; si < sets; ++si) {
       const ShardOutcome& outcome = outcomes[ui * sets + si];
-      row.bound.Add(outcome.lower_bound);
-      if (outcome.edf_energy > 0) {
-        row.normalized_bound.Add(outcome.lower_bound / outcome.edf_energy);
+      // Shards whose baseline was rejected by admission (MP only) carry no
+      // meaningful bound; the condition is always true at M = 1, so the
+      // single-core Add() sequence is unchanged.
+      if (outcome.baseline_admitted) {
+        row.bound.Add(outcome.lower_bound);
+        if (outcome.edf_energy > 0) {
+          row.normalized_bound.Add(outcome.lower_bound / outcome.edf_energy);
+        }
       }
       result.audit_violations += outcome.baseline_audit_violations;
       constexpr size_t kMaxMessages = 10;
@@ -293,6 +410,10 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
       }
       for (size_t p = 0; p < options_.policy_ids.size(); ++p) {
         PolicyCell& cell = row.cells[p];
+        if (!outcome.policies[p].admitted) {
+          ++cell.admission_rejections;
+          continue;
+        }
         cell.energy.Add(outcome.policies[p].energy);
         if (outcome.edf_energy > 0) {
           cell.normalized_energy.Add(outcome.policies[p].energy /
@@ -428,6 +549,9 @@ JsonValue SweepResultToJson(const SweepResult& result) {
   config.Set("use_uunifast", options.use_uunifast);
   config.Set("seed", options.seed);
   config.Set("jobs", options.jobs);
+  config.Set("num_cores", options.num_cores);
+  config.Set("mp_mode", MpModeName(options.mp_mode));
+  config.Set("partition", PartitionHeuristicName(options.mp_partition));
 
   const double horizon_ms = options.horizon_ms;
   JsonValue& rows = doc.Set("rows", JsonValue::Array());
@@ -447,6 +571,7 @@ JsonValue SweepResultToJson(const SweepResult& result) {
       cell_doc.Set("deadline_misses", cell.deadline_misses);
       cell_doc.Set("tasksets_with_misses", cell.tasksets_with_misses);
       cell_doc.Set("audit_violations", cell.audit_violations);
+      cell_doc.Set("admission_rejections", cell.admission_rejections);
       cell_doc.Set("counters", CountersToJson(cell.counters));
     }
   }

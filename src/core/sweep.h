@@ -31,6 +31,7 @@
 
 #include "src/cpu/machine_spec.h"
 #include "src/dvs/policy_counters.h"
+#include "src/engine/cluster.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/taskset_generator.h"
 #include "src/sim/simulator.h"
@@ -59,6 +60,19 @@ struct SweepOptions {
   // SweepResult::audit_violations (never aborting mid-sweep).
   bool audit = true;
   MachineSpec machine = MachineSpec::Machine0();
+  // Multiprocessor sweep (the partitioned-vs-global energy comparisons):
+  // each generated task set runs on an M-core cluster through the cluster
+  // API instead of a single Simulator. The utilization axis stays PER-CORE
+  // — the generator targets utilization * num_cores over the whole set —
+  // so M = 2 at u = 0.5 means a half-loaded dual-core cluster. num_cores
+  // == 1 (the default) takes the legacy single-core code path untouched,
+  // so existing sweeps stay bit-identical. Partitioned shards a policy's
+  // admission test rejects contribute no energy samples and are counted in
+  // PolicyCell::admission_rejections. UUniFast is single-core only (its
+  // per-task utilizations are unbounded above 1 when the total exceeds 1).
+  int num_cores = 1;
+  MpMode mp_mode = MpMode::kPartitioned;
+  PartitionHeuristic mp_partition = PartitionHeuristic::kFirstFit;
   // Fresh execution-time model per run (models may keep no cross-run
   // state). Invoked concurrently from worker threads, so the factory must
   // be thread-safe; stateless lambdas capturing by value (every current
@@ -85,6 +99,10 @@ struct PolicyCell {
   int64_t deadline_misses = 0;
   int64_t tasksets_with_misses = 0;
   int64_t audit_violations = 0;    // SimAudit violations across this cell
+  // Multiprocessor sweeps only: task sets this policy's partitioned
+  // admission (bin-packing) rejected; those shards add no energy samples.
+  // Always 0 at num_cores == 1 and in global mode (no admission test).
+  int64_t admission_rejections = 0;
   // Policy decision counters summed over the cell's simulations, merged in
   // serial grid order — bit-identical for every jobs value.
   PolicyCounters counters;
@@ -188,6 +206,7 @@ std::function<void(int64_t done, int64_t total)> MakeStderrProgress();
 //              "policies": [{"id", "energy_per_sec", "normalized",
 //                            "stderr_normalized", "deadline_misses",
 //                            "tasksets_with_misses", "audit_violations",
+//                            "admission_rejections",
 //                            "counters": {...}}, ...]}, ...],
 //    "profile": {...},           // SweepProfile incl. per-policy counters
 //    "audit_violations": N, "elapsed_wall_ms": ..., "elapsed_cpu_ms": ...}

@@ -1,0 +1,174 @@
+#include "src/engine/cluster.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace rtdvs {
+namespace {
+
+// Shared admission tolerance: a task set generated to land exactly on the
+// utilization bound must not be rejected for the last few ulps.
+constexpr double kAdmissionEps = 1e-9;
+
+// Would `core`'s test still pass with `candidate` added? `utilization` is
+// the core's current sum (ascending task-id order) and `count` its task
+// count, both pre-candidate.
+bool CoreAdmits(SchedulerKind kind, double utilization, int count,
+                double candidate_utilization) {
+  const double total = utilization + candidate_utilization;
+  if (kind == SchedulerKind::kEdf) {
+    return total <= 1.0 + kAdmissionEps;
+  }
+  return total <= RmUtilizationBound(count + 1) + kAdmissionEps;
+}
+
+}  // namespace
+
+double RmUtilizationBound(int num_tasks) {
+  if (num_tasks <= 0) {
+    return 1.0;
+  }
+  const double n = static_cast<double>(num_tasks);
+  return n * (std::pow(2.0, 1.0 / n) - 1.0);
+}
+
+const char* MpModeName(MpMode mode) {
+  return mode == MpMode::kPartitioned ? "partitioned" : "global";
+}
+
+const char* PartitionHeuristicName(PartitionHeuristic heuristic) {
+  switch (heuristic) {
+    case PartitionHeuristic::kFirstFit:
+      return "ff";
+    case PartitionHeuristic::kNextFit:
+      return "nf";
+    case PartitionHeuristic::kBestFit:
+      return "bf";
+    case PartitionHeuristic::kWorstFit:
+      return "wf";
+  }
+  return "ff";
+}
+
+std::optional<MpMode> ParseMpMode(std::string_view text) {
+  if (text == "partitioned") {
+    return MpMode::kPartitioned;
+  }
+  if (text == "global") {
+    return MpMode::kGlobal;
+  }
+  return std::nullopt;
+}
+
+std::optional<PartitionHeuristic> ParsePartitionHeuristic(std::string_view text) {
+  if (text == "ff") {
+    return PartitionHeuristic::kFirstFit;
+  }
+  if (text == "nf") {
+    return PartitionHeuristic::kNextFit;
+  }
+  if (text == "bf") {
+    return PartitionHeuristic::kBestFit;
+  }
+  if (text == "wf") {
+    return PartitionHeuristic::kWorstFit;
+  }
+  return std::nullopt;
+}
+
+PartitionResult PartitionTasks(const TaskSet& tasks, int num_cores,
+                               PartitionHeuristic heuristic,
+                               const std::vector<SchedulerKind>& core_kinds) {
+  RTDVS_CHECK(num_cores >= 1);
+  RTDVS_CHECK(static_cast<int>(core_kinds.size()) == num_cores);
+  PartitionResult result;
+  result.core_of_task.assign(static_cast<size_t>(tasks.size()), -1);
+  result.core_utilization.assign(static_cast<size_t>(num_cores), 0.0);
+  result.core_task_count.assign(static_cast<size_t>(num_cores), 0);
+
+  int next_fit_cursor = 0;  // only ever advances
+  for (int id = 0; id < tasks.size(); ++id) {
+    const double u = tasks.task(id).utilization();
+    int chosen = -1;
+    switch (heuristic) {
+      case PartitionHeuristic::kFirstFit:
+        for (int c = 0; c < num_cores; ++c) {
+          if (CoreAdmits(core_kinds[static_cast<size_t>(c)],
+                         result.core_utilization[static_cast<size_t>(c)],
+                         result.core_task_count[static_cast<size_t>(c)], u)) {
+            chosen = c;
+            break;
+          }
+        }
+        break;
+      case PartitionHeuristic::kNextFit:
+        for (; next_fit_cursor < num_cores; ++next_fit_cursor) {
+          const size_t c = static_cast<size_t>(next_fit_cursor);
+          if (CoreAdmits(core_kinds[c], result.core_utilization[c],
+                         result.core_task_count[c], u)) {
+            chosen = next_fit_cursor;
+            break;
+          }
+        }
+        break;
+      case PartitionHeuristic::kBestFit:
+      case PartitionHeuristic::kWorstFit:
+        for (int c = 0; c < num_cores; ++c) {
+          const size_t cc = static_cast<size_t>(c);
+          if (!CoreAdmits(core_kinds[cc], result.core_utilization[cc],
+                          result.core_task_count[cc], u)) {
+            continue;
+          }
+          if (chosen < 0) {
+            chosen = c;
+            continue;
+          }
+          const double best = result.core_utilization[static_cast<size_t>(chosen)];
+          const double cur = result.core_utilization[cc];
+          // Strict comparison keeps ties at the lowest-index admitting core.
+          if (heuristic == PartitionHeuristic::kBestFit ? cur > best
+                                                        : cur < best) {
+            chosen = c;
+          }
+        }
+        break;
+    }
+    if (chosen < 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "task %d (%s, U=%.4f) fits on no core under %s/%d cores",
+                    id, tasks.task(id).name.c_str(), u,
+                    PartitionHeuristicName(heuristic), num_cores);
+      result.feasible = false;
+      result.error = buf;
+      result.core_of_task.assign(static_cast<size_t>(tasks.size()), -1);
+      result.core_utilization.assign(static_cast<size_t>(num_cores), 0.0);
+      result.core_task_count.assign(static_cast<size_t>(num_cores), 0);
+      result.cores_used = 0;
+      return result;
+    }
+    const size_t cc = static_cast<size_t>(chosen);
+    result.core_of_task[static_cast<size_t>(id)] = chosen;
+    result.core_utilization[cc] += u;
+    result.core_task_count[cc] += 1;
+  }
+
+  result.feasible = true;
+  for (int c = 0; c < num_cores; ++c) {
+    if (result.core_task_count[static_cast<size_t>(c)] > 0) {
+      ++result.cores_used;
+    }
+  }
+  return result;
+}
+
+PartitionResult PartitionTasks(const TaskSet& tasks, int num_cores,
+                               PartitionHeuristic heuristic, SchedulerKind kind) {
+  return PartitionTasks(tasks, num_cores, heuristic,
+                        std::vector<SchedulerKind>(static_cast<size_t>(num_cores),
+                                                   kind));
+}
+
+}  // namespace rtdvs

@@ -8,6 +8,7 @@
 #ifndef SRC_ENGINE_READY_QUEUE_H_
 #define SRC_ENGINE_READY_QUEUE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -56,6 +57,40 @@ class ReadyQueue {
     previous_task_ = job.task_id;
     previous_invocation_ = job.invocation;
     return running;
+  }
+
+  // Global-mode selection (multiprocessor cluster, src/sim/mp_simulator.h):
+  // up to `k` highest-priority runnable jobs in priority order, at most one
+  // job per task — a task's backlogged invocations never run in parallel.
+  // Deterministic: ties resolve by the scheduler's total order (EDF/RM both
+  // break ties by task id then release), and the stable sort preserves
+  // creation order beyond that. Returns indices into `jobs`.
+  std::vector<size_t> PickTopK(const std::vector<Job>& jobs, const TaskSet& tasks,
+                               size_t k) const {
+    RTDVS_CHECK(scheduler_ != nullptr) << "ReadyQueue used before BindScheduler";
+    std::vector<size_t> ready;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!jobs[i].finished && !jobs[i].suspended) {
+        ready.push_back(i);
+      }
+    }
+    std::stable_sort(ready.begin(), ready.end(), [&](size_t a, size_t b) {
+      return scheduler_->HigherPriority(jobs[a], jobs[b], tasks);
+    });
+    std::vector<size_t> picked;
+    std::vector<char> task_claimed(static_cast<size_t>(tasks.size()), 0);
+    for (size_t index : ready) {
+      if (picked.size() >= k) {
+        break;
+      }
+      auto task = static_cast<size_t>(jobs[index].task_id);
+      if (task_claimed[task]) {
+        continue;
+      }
+      task_claimed[task] = 1;
+      picked.push_back(index);
+    }
+    return picked;
   }
 
   // Forgets the previously picked invocation (call before a fresh run).

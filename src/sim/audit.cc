@@ -5,6 +5,7 @@
 #include "src/cpu/energy_model.h"
 #include "src/cpu/machine_spec.h"
 #include "src/rt/schedulability.h"
+#include "src/sim/mp_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/util/strings.h"
 
@@ -310,6 +311,8 @@ const char* AuditCheckName(AuditCheck check) {
       return "rt-guarantee";
     case AuditCheck::kLowerBound:
       return "lower-bound";
+    case AuditCheck::kCluster:
+      return "cluster";
   }
   return "?";
 }
@@ -346,6 +349,101 @@ std::string AuditReport::Summary() const {
 
 AuditReport AuditSimResult(const SimResult& result, const AuditInputs& inputs) {
   return Auditor(result, inputs).Run();
+}
+
+AuditReport AuditMpResult(const MpSimResult& result, const SimOptions& options) {
+  AuditReport report;
+  auto fail = [&report](const std::string& message) {
+    report.violations.push_back({AuditCheck::kCluster, message});
+  };
+  if (!result.admitted) {
+    ++report.checks_skipped;
+    report.skip_reasons.push_back("cluster: task set not admitted, nothing ran");
+    report.audited = true;
+    return report;
+  }
+  ++report.checks_run;
+
+  // Wall time: every core covers the whole horizon (powered-down cores idle
+  // through it), so the slices sum to num_cores * horizon.
+  const SimResult& cluster = result.cluster;
+  double wall_ms = 0;
+  double busy_ms = 0, idle_ms = 0, switching_ms = 0, work = 0;
+  double exec_energy = 0, idle_energy = 0;
+  int64_t speed_switches = 0;
+  int64_t releases = 0, completions = 0, misses = 0, aborted = 0, unfinished = 0;
+  for (const SimResult& slice : result.cores) {
+    wall_ms += slice.busy_ms + slice.idle_ms + slice.switching_ms;
+    busy_ms += slice.busy_ms;
+    idle_ms += slice.idle_ms;
+    switching_ms += slice.switching_ms;
+    work += slice.total_work_executed;
+    exec_energy += slice.exec_energy;
+    idle_energy += slice.idle_energy;
+    speed_switches += slice.speed_switches;
+    releases += slice.releases;
+    completions += slice.completions;
+    misses += slice.deadline_misses;
+    aborted += slice.aborted;
+    unfinished += slice.unfinished_at_horizon;
+  }
+  const double expected_wall = result.num_cores * options.horizon_ms;
+  if (Mismatch(wall_ms, expected_wall, expected_wall)) {
+    fail(StrFormat("per-core wall time sums to %.9g ms, expected cores %d x "
+                   "horizon %.9g ms",
+                   wall_ms, result.num_cores, options.horizon_ms));
+  }
+  struct {
+    const char* what;
+    double reported;
+    double derived;
+    double scale;
+  } totals[] = {
+      {"busy_ms", cluster.busy_ms, busy_ms, expected_wall},
+      {"idle_ms", cluster.idle_ms, idle_ms, expected_wall},
+      {"switching_ms", cluster.switching_ms, switching_ms, expected_wall},
+      {"total_work_executed", cluster.total_work_executed, work,
+       cluster.total_work_executed},
+      {"exec_energy", cluster.exec_energy, exec_energy, cluster.exec_energy},
+      {"idle_energy", cluster.idle_energy, idle_energy,
+       cluster.exec_energy + cluster.idle_energy},
+  };
+  for (const auto& total : totals) {
+    if (Mismatch(total.reported, total.derived, total.scale)) {
+      fail(StrFormat("cluster %s reported %.9g, slice sum %.9g", total.what,
+                     total.reported, total.derived));
+    }
+  }
+  if (cluster.speed_switches != speed_switches) {
+    fail(StrFormat("cluster speed_switches %lld != slice sum %lld",
+                   static_cast<long long>(cluster.speed_switches),
+                   static_cast<long long>(speed_switches)));
+  }
+  if (result.mode == MpMode::kPartitioned) {
+    // Job-level counters live on the slices in partitioned mode and must
+    // sum to the cluster; migrations are impossible by construction.
+    if (cluster.releases != releases || cluster.completions != completions ||
+        cluster.deadline_misses != misses || cluster.aborted != aborted ||
+        cluster.unfinished_at_horizon != unfinished) {
+      fail("partitioned cluster job counters do not sum over the slices");
+    }
+    if (result.migrations != 0) {
+      fail(StrFormat("partitioned run reported %lld migration(s)",
+                     static_cast<long long>(result.migrations)));
+    }
+  } else if (releases != 0 || completions != 0 || misses != 0 || aborted != 0 ||
+             unfinished != 0) {
+    // Global slices carry no job counters; finding any means a slice was
+    // filled by the wrong path.
+    fail("global-mode slices carry job counters (cluster-level only)");
+  }
+  if (cluster.lower_bound_energy >
+      cluster.exec_energy + kAbsTol + kRelTol * std::fabs(cluster.exec_energy)) {
+    fail(StrFormat("cluster lower bound %.9g exceeds execution energy %.9g",
+                   cluster.lower_bound_energy, cluster.exec_energy));
+  }
+  report.audited = true;
+  return report;
 }
 
 }  // namespace rtdvs

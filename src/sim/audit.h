@@ -22,6 +22,11 @@
 //                    was injected — both void the analytical guarantee)
 //   lower bound      lower_bound_energy <= exec_energy (§3.2: the bound
 //                    is over execution energy with idle assumed free)
+//   cluster          multiprocessor results only (AuditMpResult): per-core
+//                    wall time sums to num_cores * horizon, cluster
+//                    energy/time/work/switch totals equal the slice sums,
+//                    job counters sum across cores (partitioned mode), and
+//                    migrations stay zero under partitioned scheduling
 //
 // Violations are collected into a structured AuditReport rather than
 // aborting, so a sweep shard can self-check without killing the sweep.
@@ -35,6 +40,7 @@ namespace rtdvs {
 
 class MachineSpec;
 class TaskSet;
+struct MpSimResult;
 struct SimOptions;
 struct SimResult;
 
@@ -47,6 +53,8 @@ enum class AuditCheck {
   kJobAccounting,
   kRtGuarantee,
   kLowerBound,
+  // Cluster-level conservation across an MpSimResult (AuditMpResult).
+  kCluster,
 };
 
 const char* AuditCheckName(AuditCheck check);
@@ -87,6 +95,11 @@ struct AuditInputs {
 // Runs every applicable check against `result`. Pure function of its
 // arguments; never aborts (violations are data, not bugs in the caller).
 AuditReport AuditSimResult(const SimResult& result, const AuditInputs& inputs);
+
+// Cluster-level conservation audit over a multiprocessor result (the
+// per-core slices of a partitioned run carry their own single-core audits).
+// Requires result.admitted; like AuditSimResult it reports, never aborts.
+AuditReport AuditMpResult(const MpSimResult& result, const SimOptions& options);
 
 }  // namespace rtdvs
 

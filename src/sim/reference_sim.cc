@@ -1,8 +1,12 @@
 #include "src/sim/reference_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cpu/lower_bound.h"
@@ -432,6 +436,651 @@ struct RefEngine {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Multiprocessor oracle. Everything below reimplements the cluster contract
+// (src/engine/cluster.h admission tables, src/sim/mp_simulator.h driver
+// semantics) from scratch; only the shared value types (PartitionResult,
+// MpSimResult, PolicyCounters) come from production headers.
+// ---------------------------------------------------------------------------
+
+// Liu-Layland bound, recomputed locally: n * (2^(1/n) - 1).
+double RefRmBound(int n) {
+  if (n <= 0) {
+    return 1.0;
+  }
+  return n * (std::pow(2.0, 1.0 / n) - 1.0);
+}
+
+// Admission test for adding a task of utilization `u` to a core currently
+// holding `count` tasks summing to `total_u` (same arithmetic order as
+// production: current sum plus candidate, compared with +1e-9 slack).
+bool RefCoreAdmits(SchedulerKind kind, double total_u, int count, double u) {
+  const double bound =
+      kind == SchedulerKind::kEdf ? 1.0 : RefRmBound(count + 1);
+  return total_u + u <= bound + 1e-9;
+}
+
+// Bin-packing admission, reimplemented with a gather-then-select shape
+// instead of production's per-heuristic scan loops.
+PartitionResult RefPartitionTasks(const TaskSet& tasks, int num_cores,
+                                  PartitionHeuristic heuristic,
+                                  const std::vector<SchedulerKind>& kinds) {
+  PartitionResult result;
+  result.core_of_task.assign(static_cast<size_t>(tasks.size()), -1);
+  result.core_utilization.assign(static_cast<size_t>(num_cores), 0.0);
+  result.core_task_count.assign(static_cast<size_t>(num_cores), 0);
+  int cursor = 0;  // next-fit scan start; never rewinds
+  for (int id = 0; id < tasks.size(); ++id) {
+    const double u = tasks.task(id).utilization();
+    std::vector<int> admitting;
+    const int first = heuristic == PartitionHeuristic::kNextFit ? cursor : 0;
+    for (int c = first; c < num_cores; ++c) {
+      const auto cc = static_cast<size_t>(c);
+      if (RefCoreAdmits(kinds[cc], result.core_utilization[cc],
+                        result.core_task_count[cc], u)) {
+        admitting.push_back(c);
+      }
+    }
+    int chosen = -1;
+    if (!admitting.empty()) {
+      switch (heuristic) {
+        case PartitionHeuristic::kFirstFit:
+        case PartitionHeuristic::kNextFit:
+          chosen = admitting.front();
+          break;
+        case PartitionHeuristic::kBestFit:
+        case PartitionHeuristic::kWorstFit: {
+          chosen = admitting.front();
+          for (int c : admitting) {
+            const double cur = result.core_utilization[static_cast<size_t>(c)];
+            const double best =
+                result.core_utilization[static_cast<size_t>(chosen)];
+            // Strict comparisons keep ties at the lowest admitting index.
+            if (heuristic == PartitionHeuristic::kBestFit ? cur > best
+                                                          : cur < best) {
+              chosen = c;
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      result = PartitionResult{};
+      result.core_of_task.assign(static_cast<size_t>(tasks.size()), -1);
+      result.core_utilization.assign(static_cast<size_t>(num_cores), 0.0);
+      result.core_task_count.assign(static_cast<size_t>(num_cores), 0);
+      result.error = "reference: task " + std::to_string(id) + " fits nowhere";
+      return result;
+    }
+    if (heuristic == PartitionHeuristic::kNextFit) {
+      cursor = chosen;
+    }
+    result.core_of_task[static_cast<size_t>(id)] = chosen;
+    result.core_utilization[static_cast<size_t>(chosen)] += u;
+    result.core_task_count[static_cast<size_t>(chosen)] += 1;
+  }
+  result.feasible = true;
+  for (int count : result.core_task_count) {
+    if (count > 0) {
+      result.cores_used += 1;
+    }
+  }
+  return result;
+}
+
+// A core the partition left empty: powered down, whole horizon idle at the
+// machine's minimum point, zero energy.
+SimResult RefPoweredDownSlice(const MachineSpec& machine,
+                              const SimOptions& options) {
+  SimResult slice;
+  slice.policy_name = "off";
+  slice.horizon_ms = options.horizon_ms;
+  slice.idle_ms = options.horizon_ms;
+  for (const OperatingPoint& point : machine.points()) {
+    slice.residency.push_back(PointResidency{point, 0, 0, 0, 0});
+  }
+  slice.residency.front().idle_ms = options.horizon_ms;
+  return slice;
+}
+
+// Field-wise slice-into-cluster summation (traces untouched; task stats
+// mapped back through the core's global ids).
+void RefAccumulate(const SimResult& slice, const std::vector<int>& global_ids,
+                   SimResult* cluster) {
+  cluster->exec_energy += slice.exec_energy;
+  cluster->idle_energy += slice.idle_energy;
+  cluster->busy_ms += slice.busy_ms;
+  cluster->idle_ms += slice.idle_ms;
+  cluster->switching_ms += slice.switching_ms;
+  cluster->total_work_executed += slice.total_work_executed;
+  cluster->releases += slice.releases;
+  cluster->completions += slice.completions;
+  cluster->deadline_misses += slice.deadline_misses;
+  cluster->aborted += slice.aborted;
+  cluster->unfinished_at_horizon += slice.unfinished_at_horizon;
+  cluster->wcet_overruns += slice.wcet_overruns;
+  cluster->speed_switches += slice.speed_switches;
+  cluster->preemptions += slice.preemptions;
+  cluster->policy_counters.MergeFrom(slice.policy_counters);
+  cluster->lower_bound_energy += slice.lower_bound_energy;
+  for (size_t i = 0; i < slice.residency.size(); ++i) {
+    cluster->residency[i].exec_ms += slice.residency[i].exec_ms;
+    cluster->residency[i].idle_ms += slice.residency[i].idle_ms;
+    cluster->residency[i].exec_energy += slice.residency[i].exec_energy;
+    cluster->residency[i].idle_energy += slice.residency[i].idle_energy;
+  }
+  for (size_t local = 0; local < slice.task_stats.size(); ++local) {
+    cluster->task_stats[static_cast<size_t>(global_ids[local])] =
+        slice.task_stats[local];
+  }
+}
+
+// Local-to-global id translation for a partitioned core's sub-task-set;
+// invocation indices pass through (a partitioned task runs on one core, so
+// its local invocation sequence is its global one).
+class RefScopedExecModel : public ExecTimeModel {
+ public:
+  RefScopedExecModel(ExecTimeModel* inner, const std::vector<int>* global_ids)
+      : inner_(inner), global_ids_(global_ids) {}
+  std::string name() const override { return inner_->name(); }
+  double DrawFraction(int task_id, int64_t invocation, Pcg32& rng) override {
+    return inner_->DrawFraction((*global_ids_)[static_cast<size_t>(task_id)],
+                                invocation, rng);
+  }
+
+ private:
+  ExecTimeModel* inner_;
+  const std::vector<int>* global_ids_;
+};
+
+std::string RefClusterPolicyName(
+    const std::vector<std::unique_ptr<DvsPolicy>>& policies) {
+  std::string name = policies.front()->name();
+  for (const auto& policy : policies) {
+    if (policy->name() != name) {
+      name += "+" + policy->name();
+    }
+  }
+  return name;
+}
+
+// Global-mode reference engine: cluster-wide job list, from-scratch ranking
+// at every event, per-core first-principles integration.
+struct RefClusterEngine {
+  const TaskSet& tasks;
+  const MachineSpec& machine;
+  const SimOptions& options;
+  const ReferenceFaults& faults;
+  std::vector<std::unique_ptr<DvsPolicy>>& policies;
+  ExecTimeModel& exec_model;
+  const int num_cores;
+  const bool edf;
+
+  std::vector<double> next_release;
+  std::vector<int64_t> next_invocation;
+  std::vector<double> cumulative_executed;
+  std::vector<double> last_actual_work;
+  std::vector<RefJob> jobs;  // creation order
+  // Parallel to jobs: last core each job ran on (-1 = never) and whether it
+  // held a core in the previous segment.
+  std::vector<int> last_core;
+  std::vector<char> was_dispatched;
+  Pcg32 rng;
+  double now = 0;
+  MpSimResult out;
+
+  RefClusterEngine(const SimRequest& request,
+                   std::vector<std::unique_ptr<DvsPolicy>>& policies_in,
+                   ExecTimeModel& exec_model_in, const ReferenceFaults& faults_in)
+      : tasks(request.tasks),
+        machine(request.cluster.machine),
+        options(request.options),
+        faults(faults_in),
+        policies(policies_in),
+        exec_model(exec_model_in),
+        num_cores(request.cluster.num_cores),
+        edf(policies_in.front()->scheduler_kind() == SchedulerKind::kEdf),
+        rng(request.options.seed) {}
+
+  int num_tasks() const { return tasks.size(); }
+
+  // The up-to-M highest-priority unfinished jobs, at most one per task, in
+  // priority order: (deadline | period, task id, release).
+  std::vector<int> PickTopJobs() const {
+    std::vector<int> order;
+    for (int i = 0; i < static_cast<int>(jobs.size()); ++i) {
+      if (!jobs[static_cast<size_t>(i)].finished) {
+        order.push_back(i);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int ia, int ib) {
+      const RefJob& a = jobs[static_cast<size_t>(ia)];
+      const RefJob& b = jobs[static_cast<size_t>(ib)];
+      double ka = edf ? a.deadline_ms : tasks.task(a.task_id).period_ms;
+      double kb = edf ? b.deadline_ms : tasks.task(b.task_id).period_ms;
+      if (ka != kb) {
+        return ka < kb;
+      }
+      if (a.task_id != b.task_id) {
+        return a.task_id < b.task_id;
+      }
+      return a.release_ms < b.release_ms;
+    });
+    std::vector<int> picked;
+    std::vector<char> taken(static_cast<size_t>(num_tasks()), 0);
+    for (int index : order) {
+      if (static_cast<int>(picked.size()) == num_cores) {
+        break;
+      }
+      auto tid = static_cast<size_t>(jobs[static_cast<size_t>(index)].task_id);
+      if (taken[tid]) {
+        continue;
+      }
+      taken[tid] = 1;
+      picked.push_back(index);
+    }
+    return picked;
+  }
+
+  // Affinity assignment: keep a job on its previous core when free, then
+  // fill free cores lowest-index-first in priority order. Off-core landings
+  // count migrations.
+  std::vector<int> AssignCores(const std::vector<int>& picked) {
+    std::vector<int> core_job(static_cast<size_t>(num_cores), -1);
+    std::vector<char> placed(picked.size(), 0);
+    for (size_t p = 0; p < picked.size(); ++p) {
+      const int prev = last_core[static_cast<size_t>(picked[p])];
+      if (prev >= 0 && core_job[static_cast<size_t>(prev)] < 0) {
+        core_job[static_cast<size_t>(prev)] = picked[p];
+        placed[p] = 1;
+      }
+    }
+    int scan = 0;
+    for (size_t p = 0; p < picked.size(); ++p) {
+      if (placed[p]) {
+        continue;
+      }
+      while (core_job[static_cast<size_t>(scan)] >= 0) {
+        ++scan;
+      }
+      core_job[static_cast<size_t>(scan)] = picked[p];
+      const auto jp = static_cast<size_t>(picked[p]);
+      if (last_core[jp] >= 0 && last_core[jp] != scan) {
+        out.migrations += 1;
+      }
+      last_core[jp] = scan;
+    }
+    return core_job;
+  }
+
+  PolicyContext BuildContext() const {
+    PolicyContext ctx;
+    ctx.now_ms = now;
+    ctx.tasks = &tasks;
+    ctx.machine = &machine;
+    for (const SimResult& slice : out.cores) {
+      ctx.cumulative_busy_ms += slice.busy_ms;
+      ctx.cumulative_idle_ms += slice.idle_ms;
+      ctx.cumulative_work += slice.total_work_executed;
+    }
+    ctx.views.resize(static_cast<size_t>(num_tasks()));
+    for (int id = 0; id < num_tasks(); ++id) {
+      auto& view = ctx.views[static_cast<size_t>(id)];
+      view.has_active_job = false;
+      view.next_deadline_ms = next_release[static_cast<size_t>(id)];
+      view.executed_in_invocation = 0;
+      view.worst_case_remaining = 0;
+      view.cumulative_executed = cumulative_executed[static_cast<size_t>(id)];
+      view.last_actual_work = last_actual_work[static_cast<size_t>(id)];
+    }
+    std::vector<double> chosen_release(static_cast<size_t>(num_tasks()), kInf);
+    for (const RefJob& job : jobs) {
+      if (job.finished) {
+        continue;
+      }
+      auto i = static_cast<size_t>(job.task_id);
+      if (job.release_ms < chosen_release[i]) {
+        chosen_release[i] = job.release_ms;
+        ctx.views[i].has_active_job = true;
+        ctx.views[i].next_deadline_ms = job.deadline_ms;
+        ctx.views[i].executed_in_invocation = job.executed_work;
+        ctx.views[i].worst_case_remaining =
+            std::max(0.0, job.wcet_work - job.executed_work);
+      }
+    }
+    return ctx;
+  }
+
+  double NextEventTime(const std::vector<int>& core_job,
+                       const std::vector<RefSpeed>& speeds,
+                       const std::vector<std::optional<double>>& wakeup) const {
+    double t = options.horizon_ms;
+    for (double r : next_release) {
+      t = std::min(t, r);
+    }
+    for (const RefJob& job : jobs) {
+      if (!job.finished && job.deadline_ms > now + kTimeEpsMs) {
+        t = std::min(t, job.deadline_ms);
+      }
+    }
+    for (int c = 0; c < num_cores; ++c) {
+      const auto cc = static_cast<size_t>(c);
+      if (wakeup[cc].has_value() && *wakeup[cc] > now + kTimeEpsMs) {
+        t = std::min(t, *wakeup[cc]);
+      }
+      if (core_job[cc] >= 0) {
+        const RefJob& job = jobs[static_cast<size_t>(core_job[cc])];
+        double exec_start = std::max(now, speeds[cc].blocked_until());
+        double remaining = job.actual_work - job.executed_work;
+        t = std::min(t, exec_start + remaining / speeds[cc].current().frequency);
+      }
+    }
+    return std::min(std::max(t, now), options.horizon_ms);
+  }
+
+  // Charge [now, t_next) on core `c` to switching / execution / idle.
+  void IntegrateCore(int c, int job_index, const RefSpeed& speed, double t_next) {
+    SimResult& slice = out.cores[static_cast<size_t>(c)];
+    const OperatingPoint point = speed.current();
+    const double volt_sq = point.voltage * point.voltage;
+    auto& residency = slice.residency[machine.IndexOf(point)];
+    if (job_index >= 0) {
+      double exec_start = std::clamp(speed.blocked_until(), now, t_next);
+      double switch_dt = exec_start - now;
+      if (switch_dt > 0) {
+        slice.switching_ms += switch_dt;
+      }
+      double exec_dt = t_next - exec_start;
+      if (exec_dt > 0) {
+        RefJob& job = jobs[static_cast<size_t>(job_index)];
+        double work = exec_dt * point.frequency;
+        work = std::min(work, job.actual_work - job.executed_work);
+        job.executed_work += work;
+        cumulative_executed[static_cast<size_t>(job.task_id)] += work;
+        out.cluster.task_stats[static_cast<size_t>(job.task_id)].executed_work +=
+            work;
+        slice.total_work_executed += work;
+        slice.busy_ms += exec_dt;
+        double joules = work * volt_sq * options.energy_coefficient;
+        slice.exec_energy += joules;
+        residency.exec_ms += exec_dt;
+        residency.exec_energy += joules;
+      }
+    } else {
+      double halt_end = std::clamp(speed.blocked_until(), now, t_next);
+      if (faults.idle_path_switch_bug) {
+        halt_end = now;  // injected: the halt is never charged to switching
+      }
+      double switch_dt = halt_end - now;
+      if (switch_dt > 0) {
+        slice.switching_ms += switch_dt;
+      }
+      double idle_dt = t_next - halt_end;
+      if (idle_dt > 0) {
+        slice.idle_ms += idle_dt;
+        double joules = idle_dt * point.frequency * volt_sq *
+                        options.idle_level * options.energy_coefficient;
+        slice.idle_energy += joules;
+        residency.idle_ms += idle_dt;
+        residency.idle_energy += joules;
+      }
+    }
+  }
+
+  std::vector<int> ProcessCompletions() {
+    std::vector<int> completed;
+    for (RefJob& job : jobs) {
+      if (!job.finished && job.actual_work - job.executed_work <= kWorkEps) {
+        job.finished = true;
+        auto& stats = out.cluster.task_stats[static_cast<size_t>(job.task_id)];
+        stats.completions += 1;
+        out.cluster.completions += 1;
+        double response = now - job.release_ms;
+        stats.total_response_ms += response;
+        stats.max_response_ms = std::max(stats.max_response_ms, response);
+        last_actual_work[static_cast<size_t>(job.task_id)] = job.actual_work;
+        completed.push_back(job.task_id);
+      }
+    }
+    return completed;
+  }
+
+  void ProcessMisses() {
+    for (RefJob& job : jobs) {
+      if (job.finished || job.missed || job.deadline_ms > now + kTimeEpsMs) {
+        continue;
+      }
+      job.missed = true;
+      out.cluster.deadline_misses += 1;
+      out.cluster.task_stats[static_cast<size_t>(job.task_id)].deadline_misses +=
+          1;
+      if (options.miss_policy == MissPolicy::kAbortJob) {
+        job.finished = true;
+        out.cluster.aborted += 1;
+        out.cluster.task_stats[static_cast<size_t>(job.task_id)].aborted += 1;
+      }
+    }
+  }
+
+  std::vector<int> ProcessReleases() {
+    std::vector<int> released;
+    for (int id = 0; id < num_tasks(); ++id) {
+      auto i = static_cast<size_t>(id);
+      const Task& task = tasks.task(id);
+      while (next_release[i] <= now + kTimeEpsMs) {
+        double fraction = exec_model.DrawFraction(id, next_invocation[i], rng);
+        RTDVS_CHECK_GT(fraction, 0.0);
+        if (fraction > 1.0 + kWorkEps) {
+          out.cluster.wcet_overruns += 1;
+        }
+        RefJob job;
+        job.task_id = id;
+        job.invocation = next_invocation[i];
+        job.release_ms = next_release[i];
+        job.deadline_ms = next_release[i] + task.period_ms;
+        job.wcet_work = task.wcet_ms;
+        job.actual_work = fraction * task.wcet_ms;
+        jobs.push_back(job);
+        last_core.push_back(-1);
+        was_dispatched.push_back(0);
+        next_invocation[i] += 1;
+        next_release[i] += task.period_ms;
+        out.cluster.releases += 1;
+        out.cluster.task_stats[i].releases += 1;
+        released.push_back(id);
+      }
+    }
+    return released;
+  }
+
+  void PruneFinished() {
+    size_t kept = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].finished) {
+        continue;
+      }
+      jobs[kept] = jobs[i];
+      last_core[kept] = last_core[i];
+      was_dispatched[kept] = was_dispatched[i];
+      ++kept;
+    }
+    jobs.resize(kept);
+    last_core.resize(kept);
+    was_dispatched.resize(kept);
+  }
+
+  MpSimResult Run() {
+    const int n = num_tasks();
+    const auto m = static_cast<size_t>(num_cores);
+    out.mode = MpMode::kGlobal;
+    out.num_cores = num_cores;
+    out.admitted = true;
+    out.partition.feasible = true;
+    out.partition.cores_used = num_cores;
+    out.partition.core_of_task.assign(static_cast<size_t>(n), -1);
+    out.partition.core_utilization.assign(m, 0.0);
+    out.partition.core_task_count.assign(m, 0);
+    out.core_tasks.assign(m, tasks);
+    out.core_global_ids.assign(m, {});
+    for (size_t c = 0; c < m; ++c) {
+      for (int id = 0; id < n; ++id) {
+        out.core_global_ids[c].push_back(id);
+      }
+    }
+    out.cores.resize(m);
+    out.cluster.horizon_ms = options.horizon_ms;
+    out.cluster.task_stats.assign(static_cast<size_t>(n), TaskStats{});
+    for (const OperatingPoint& point : machine.points()) {
+      out.cluster.residency.push_back(PointResidency{point, 0, 0, 0, 0});
+    }
+
+    next_release.assign(static_cast<size_t>(n), 0.0);
+    next_invocation.assign(static_cast<size_t>(n), 0);
+    cumulative_executed.assign(static_cast<size_t>(n), 0.0);
+    last_actual_work.assign(static_cast<size_t>(n), 0.0);
+    for (int id = 0; id < n; ++id) {
+      next_release[static_cast<size_t>(id)] = tasks.task(id).phase_ms;
+      last_actual_work[static_cast<size_t>(id)] = tasks.task(id).wcet_ms;
+    }
+
+    std::vector<RefSpeed> speeds;
+    std::vector<PolicyCounters> counters_at_start(m);
+    for (size_t c = 0; c < m; ++c) {
+      SimResult& slice = out.cores[c];
+      slice.policy_name = policies[c]->name();
+      slice.scheduler = policies[c]->scheduler_kind();
+      slice.horizon_ms = options.horizon_ms;
+      for (const OperatingPoint& point : machine.points()) {
+        slice.residency.push_back(PointResidency{point, 0, 0, 0, 0});
+      }
+      speeds.emplace_back(&machine, &now, options.switch_time_ms,
+                          &slice.speed_switches);
+      counters_at_start[c] = policies[c]->counters();
+    }
+
+    std::vector<std::optional<double>> wakeup(m);
+    std::vector<char> was_idle(m, 0);
+    {
+      PolicyContext ctx = BuildContext();
+      for (size_t c = 0; c < m; ++c) {
+        policies[c]->OnStart(ctx, speeds[c]);
+      }
+    }
+    {
+      PolicyContext ctx = BuildContext();
+      for (size_t c = 0; c < m; ++c) {
+        wakeup[c] = policies[c]->NextWakeupMs(ctx);
+      }
+    }
+
+    while (now < options.horizon_ms - kTimeEpsMs) {
+      const std::vector<int> picked = PickTopJobs();
+      const std::vector<int> core_job = AssignCores(picked);
+
+      // Preemption accounting: a job that held a core in the previous
+      // segment, still unfinished, and holds none now.
+      std::vector<char> holds(jobs.size(), 0);
+      for (size_t c = 0; c < m; ++c) {
+        if (core_job[c] >= 0) {
+          holds[static_cast<size_t>(core_job[c])] = 1;
+        }
+      }
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (was_dispatched[i] && !holds[i] && !jobs[i].finished) {
+          out.cluster.preemptions += 1;
+        }
+      }
+      was_dispatched = holds;
+
+      const double t_next = NextEventTime(core_job, speeds, wakeup);
+
+      // One OnIdle per idle period per core, only ahead of a segment with
+      // real length.
+      if (t_next > now + kTimeEpsMs) {
+        bool any = false;
+        for (size_t c = 0; c < m; ++c) {
+          if (core_job[c] < 0 && !was_idle[c]) {
+            any = true;
+          }
+        }
+        PolicyContext ctx;
+        if (any) {
+          ctx = BuildContext();
+        }
+        for (size_t c = 0; c < m; ++c) {
+          if (core_job[c] >= 0) {
+            was_idle[c] = 0;
+          } else if (!was_idle[c]) {
+            policies[c]->OnIdle(ctx, speeds[c]);
+            was_idle[c] = 1;
+          }
+        }
+      }
+
+      for (int c = 0; c < num_cores; ++c) {
+        IntegrateCore(c, core_job[static_cast<size_t>(c)],
+                      speeds[static_cast<size_t>(c)], t_next);
+      }
+      now = t_next;
+      if (now >= options.horizon_ms - kTimeEpsMs) {
+        break;
+      }
+
+      std::vector<int> completed;
+      if (faults.miss_before_completion_bug) {
+        ProcessMisses();
+        completed = ProcessCompletions();
+      } else {
+        completed = ProcessCompletions();
+        ProcessMisses();
+      }
+      std::vector<int> released = ProcessReleases();
+      PruneFinished();
+
+      PolicyContext ctx = BuildContext();
+      for (int task_id : completed) {
+        for (size_t c = 0; c < m; ++c) {
+          policies[c]->OnTaskCompletion(task_id, ctx, speeds[c]);
+        }
+      }
+      for (int task_id : released) {
+        for (size_t c = 0; c < m; ++c) {
+          policies[c]->OnTaskRelease(task_id, ctx, speeds[c]);
+        }
+      }
+      for (size_t c = 0; c < m; ++c) {
+        if (wakeup[c].has_value() && *wakeup[c] <= now + kTimeEpsMs) {
+          policies[c]->OnWakeup(ctx, speeds[c]);
+        }
+        wakeup[c] = policies[c]->NextWakeupMs(ctx);
+      }
+    }
+
+    for (const RefJob& job : jobs) {
+      if (!job.finished) {
+        out.cluster.unfinished_at_horizon += 1;
+        out.cluster.task_stats[static_cast<size_t>(job.task_id)].unfinished += 1;
+      }
+    }
+    for (size_t c = 0; c < m; ++c) {
+      out.cores[c].policy_counters =
+          policies[c]->counters().DiffSince(counters_at_start[c]);
+      RefAccumulate(out.cores[c], {}, &out.cluster);
+    }
+    // Cluster bound: per-core bound at an even work split (convexity makes
+    // the even split the cheapest division over identical cores).
+    out.cluster.lower_bound_energy =
+        num_cores * MinimumExecutionEnergy(
+                        out.cluster.total_work_executed / num_cores,
+                        options.horizon_ms, machine,
+                        EnergyModel(0.0, options.energy_coefficient));
+    out.cluster.policy_name = RefClusterPolicyName(policies);
+    out.cluster.scheduler = policies.front()->scheduler_kind();
+    return std::move(out);
+  }
+};
+
 }  // namespace
 
 SimResult RunReferenceSimulation(const TaskSet& tasks, const MachineSpec& machine,
@@ -453,6 +1102,114 @@ SimResult RunReferenceSimulation(const TaskSet& tasks, const MachineSpec& machin
                                  const ReferenceFaults& faults) {
   std::unique_ptr<DvsPolicy> policy = MakePolicy(policy_id);
   return RunReferenceSimulation(tasks, machine, *policy, exec_model, options, faults);
+}
+
+MpSimResult RunReferenceClusterSimulation(const SimRequest& request,
+                                          ExecTimeModel& exec_model,
+                                          const ReferenceFaults& faults) {
+  const int num_cores = request.cluster.num_cores;
+  RTDVS_CHECK_GE(num_cores, 1);
+  RTDVS_CHECK(!request.tasks.empty()) << "cannot simulate an empty task set";
+  RTDVS_CHECK_GT(request.options.horizon_ms, 0.0);
+  RTDVS_CHECK_GE(request.options.switch_time_ms, 0.0);
+  RTDVS_CHECK(!request.policy_ids.empty());
+  RTDVS_CHECK(request.policy_ids.size() == 1 ||
+              static_cast<int>(request.policy_ids.size()) == num_cores);
+  std::vector<std::unique_ptr<DvsPolicy>> policies;
+  for (int c = 0; c < num_cores; ++c) {
+    const std::string& id = request.policy_ids.size() == 1
+                                ? request.policy_ids.front()
+                                : request.policy_ids[static_cast<size_t>(c)];
+    policies.push_back(MakePolicy(id));
+  }
+
+  MpSimResult out;
+  out.mode = request.mode;
+  out.num_cores = num_cores;
+
+  auto init_cluster = [&](int num_stats) {
+    out.cluster.horizon_ms = request.options.horizon_ms;
+    out.cluster.task_stats.assign(static_cast<size_t>(num_stats), TaskStats{});
+    for (const OperatingPoint& point : request.cluster.machine.points()) {
+      out.cluster.residency.push_back(PointResidency{point, 0, 0, 0, 0});
+    }
+  };
+
+  if (num_cores == 1) {
+    // Mirror production routing: M = 1 is the single-core engine, whatever
+    // the requested mode.
+    out.admitted = true;
+    out.partition.feasible = true;
+    out.partition.core_of_task.assign(static_cast<size_t>(request.tasks.size()),
+                                      0);
+    out.partition.core_utilization = {request.tasks.TotalUtilization()};
+    out.partition.core_task_count = {request.tasks.size()};
+    out.partition.cores_used = 1;
+    out.core_tasks = {request.tasks};
+    out.core_global_ids.resize(1);
+    for (int id = 0; id < request.tasks.size(); ++id) {
+      out.core_global_ids[0].push_back(id);
+    }
+    out.cores.resize(1);
+    out.cores[0] =
+        RunReferenceSimulation(request.tasks, request.cluster.machine,
+                               *policies[0], exec_model, request.options, faults);
+    init_cluster(static_cast<int>(out.cores[0].task_stats.size()));
+    RefAccumulate(out.cores[0], out.core_global_ids[0], &out.cluster);
+    out.cluster.policy_name = RefClusterPolicyName(policies);
+    out.cluster.scheduler = policies.front()->scheduler_kind();
+    return out;
+  }
+
+  RTDVS_CHECK(request.options.aperiodic.kind == ServerKind::kNone)
+      << "aperiodic servers are supported only at num_cores == 1";
+
+  if (request.mode == MpMode::kGlobal) {
+    for (const auto& policy : policies) {
+      RTDVS_CHECK(policy->scheduler_kind() == policies.front()->scheduler_kind())
+          << "global mode needs one scheduler kind across all cores";
+    }
+    return RefClusterEngine(request, policies, exec_model, faults).Run();
+  }
+
+  std::vector<SchedulerKind> kinds;
+  for (const auto& policy : policies) {
+    kinds.push_back(policy->scheduler_kind());
+  }
+  out.partition =
+      RefPartitionTasks(request.tasks, num_cores, request.partition, kinds);
+  out.cores.resize(static_cast<size_t>(num_cores));
+  if (!out.partition.feasible) {
+    out.admitted = false;
+    return out;
+  }
+  out.admitted = true;
+  out.core_tasks.assign(static_cast<size_t>(num_cores), TaskSet{});
+  out.core_global_ids.assign(static_cast<size_t>(num_cores), {});
+  for (int id = 0; id < request.tasks.size(); ++id) {
+    const int core = out.partition.core_of_task[static_cast<size_t>(id)];
+    out.core_tasks[static_cast<size_t>(core)].AddTask(request.tasks.task(id));
+    out.core_global_ids[static_cast<size_t>(core)].push_back(id);
+  }
+  init_cluster(request.tasks.size());
+  for (int core = 0; core < num_cores; ++core) {
+    const auto c = static_cast<size_t>(core);
+    if (out.core_tasks[c].empty()) {
+      out.cores[c] = RefPoweredDownSlice(request.cluster.machine, request.options);
+    } else {
+      SimOptions core_options = request.options;
+      core_options.seed = request.options.seed ^
+                          (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(core));
+      RefScopedExecModel scoped(&exec_model, &out.core_global_ids[c]);
+      out.cores[c] =
+          RunReferenceSimulation(out.core_tasks[c], request.cluster.machine,
+                                 *policies[c], scoped, core_options, faults);
+    }
+    RefAccumulate(out.cores[c], out.core_global_ids[c], &out.cluster);
+  }
+  out.cluster.policy_name = RefClusterPolicyName(policies);
+  out.cluster.scheduler = policies.front()->scheduler_kind();
+  return out;
 }
 
 }  // namespace rtdvs

@@ -48,6 +48,7 @@
 #include "src/dvs/policy.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/task.h"
+#include "src/sim/mp_simulator.h"
 #include "src/sim/simulator.h"
 
 namespace rtdvs {
@@ -83,6 +84,20 @@ SimResult RunReferenceSimulation(const TaskSet& tasks, const MachineSpec& machin
                                  const std::string& policy_id,
                                  ExecTimeModel& exec_model, const SimOptions& options,
                                  const ReferenceFaults& faults = {});
+
+// Multiprocessor oracle for RunClusterSimulation, written under the same
+// design rules: the partitioned admission tables, the powered-down-core
+// slice, the per-core seed mixing, and the whole global-EDF dispatch loop
+// are reimplemented here from the contract in mp_simulator.h and
+// cluster.h rather than calling into src/engine/cluster.cc. Policies are
+// resolved from request.policy_ids (one fresh instance per core). M = 1
+// routes to the single-core reference engine, mirroring production's
+// routing. The fault knobs apply inside each core's engine so --inject-bug
+// self-tests cover multiprocessor campaigns too. The cluster audit is not
+// run (cluster_audit.audited == false).
+MpSimResult RunReferenceClusterSimulation(const SimRequest& request,
+                                          ExecTimeModel& exec_model,
+                                          const ReferenceFaults& faults = {});
 
 }  // namespace rtdvs
 

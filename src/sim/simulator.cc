@@ -537,19 +537,9 @@ SimResult Simulator::Run() {
   return result_;
 }
 
-SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
-                        DvsPolicy& policy, ExecTimeModel& exec_model,
-                        const SimOptions& options) {
-  Simulator sim(tasks, machine, &policy, &exec_model, options);
-  return sim.Run();
-}
-
-SimResult RunSimulation(const TaskSet& tasks, const MachineSpec& machine,
-                        const std::string& policy_id, ExecTimeModel& exec_model,
-                        const SimOptions& options) {
-  std::unique_ptr<DvsPolicy> policy = MakePolicy(policy_id);
-  return RunSimulation(tasks, machine, *policy, exec_model, options);
-}
+// The RunSimulation convenience wrappers are defined in mp_simulator.cc:
+// they route through the M=1 cluster path so the legacy API and the
+// SimRequest API share one entry point (and one audit story).
 
 std::string SimResult::Summary() const {
   return StrFormat(

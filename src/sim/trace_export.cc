@@ -5,6 +5,7 @@
 #include "src/cpu/energy_model.h"
 #include "src/rt/task.h"
 #include "src/sim/metrics.h"
+#include "src/sim/mp_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/util/json.h"
 #include "src/util/strings.h"
@@ -12,20 +13,22 @@
 namespace rtdvs {
 namespace {
 
-// One process, tid 0 for the CPU (idle/switching) track, tid task_id + 1
-// for each task track. Task id 0 would otherwise collide with the CPU tid.
-constexpr int kPid = 0;
+// Within each process (track group): tid 0 for the CPU (idle/switching)
+// track, tid task_id + 1 for each task track. Task id 0 would otherwise
+// collide with the CPU tid. Single-core exports use pid 0; the MP export
+// uses pid = core index plus one "cluster" group.
 constexpr int kCpuTid = 0;
 
 int TaskTid(int task_id) { return task_id + 1; }
 
 double ToMicros(double ms) { return ms * 1000.0; }
 
-JsonValue MetadataEvent(const char* name, int tid, const std::string& value) {
+JsonValue MetadataEvent(const char* name, int pid, int tid,
+                        const std::string& value) {
   JsonValue event = JsonValue::Object();
   event.Set("name", name);
   event.Set("ph", "M");
-  event.Set("pid", kPid);
+  event.Set("pid", pid);
   event.Set("tid", tid);
   event.Set("args", JsonValue::Object()).Set("name", value);
   return event;
@@ -47,30 +50,27 @@ const char* EventKindName(TraceEventKind kind) {
   return "?";
 }
 
-}  // namespace
-
-JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
-                            const SimOptions& options) {
-  const EnergyModel energy(options.idle_level, options.energy_coefficient);
-  JsonValue doc = JsonValue::Object();
-  JsonValue& events = doc.Set("traceEvents", JsonValue::Array());
-
-  // Track naming metadata first: process, CPU track, one track per task.
-  events.Append(MetadataEvent("process_name", kCpuTid,
-                              "rtdvs-sim " + result.policy_name));
-  events.Append(MetadataEvent("thread_name", kCpuTid, "cpu (idle/switch)"));
+// Track-naming metadata for one process: its name, the CPU track, and one
+// track per task.
+void AppendTrackMetadata(const std::string& process_name, const TaskSet& tasks,
+                         int pid, JsonValue* events) {
+  events->Append(MetadataEvent("process_name", pid, kCpuTid, process_name));
+  events->Append(MetadataEvent("thread_name", pid, kCpuTid, "cpu (idle/switch)"));
   for (int id = 0; id < tasks.size(); ++id) {
     const Task& task = tasks.task(id);
-    events.Append(MetadataEvent(
-        "thread_name", TaskTid(id),
+    events->Append(MetadataEvent(
+        "thread_name", pid, TaskTid(id),
         StrFormat("%s (C=%g T=%g)", task.name.c_str(), task.wcet_ms,
                   task.period_ms)));
   }
+}
 
-  // Frequency/voltage counter track, stepped at every operating-point
-  // change. Derived from the segments themselves (not the kSpeedChange
-  // events) so the counter value in effect over any slice re-integrates
-  // exactly to the energy that slice reports.
+// Frequency/voltage counter track, stepped at every operating-point change.
+// Derived from the segments themselves (not the kSpeedChange events) so the
+// counter value in effect over any slice re-integrates exactly to the
+// energy that slice reports.
+void AppendFrequencyCounter(const SimResult& result, int pid,
+                            JsonValue* events) {
   const OperatingPoint* last_point = nullptr;
   for (const auto& segment : result.trace.segments()) {
     if (last_point != nullptr && segment.point == *last_point) {
@@ -81,15 +81,20 @@ JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
     counter.Set("name", "frequency");
     counter.Set("ph", "C");
     counter.Set("ts", ToMicros(segment.start_ms));
-    counter.Set("pid", kPid);
+    counter.Set("pid", pid);
     JsonValue& args = counter.Set("args", JsonValue::Object());
     args.Set("frequency", segment.point.frequency);
     args.Set("voltage", segment.point.voltage);
-    events.Append(std::move(counter));
+    events->Append(std::move(counter));
   }
+}
 
-  // Complete ("X") slices: execution on the task tracks, idle/switching on
-  // the CPU track.
+// Complete ("X") slices: execution on the task tracks, idle/switching on
+// the CPU track.
+void AppendSegmentSlices(const SimResult& result, const TaskSet& tasks,
+                         const SimOptions& options, int pid,
+                         JsonValue* events) {
+  const EnergyModel energy(options.idle_level, options.energy_coefficient);
   for (const auto& segment : result.trace.segments()) {
     const double wall_ms = segment.end_ms - segment.start_ms;
     JsonValue slice = JsonValue::Object();
@@ -126,18 +131,20 @@ JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
     slice.Set("ph", "X");
     slice.Set("ts", ToMicros(segment.start_ms));
     slice.Set("dur", ToMicros(wall_ms));
-    slice.Set("pid", kPid);
-    events.Append(std::move(slice));
+    slice.Set("pid", pid);
+    events->Append(std::move(slice));
   }
+}
 
-  // Instant ("i") marks: task events on their task's track, speed changes
-  // and idle starts on the CPU track.
+// Instant ("i") marks: task events on their task's track, speed changes
+// and idle starts on the CPU track.
+void AppendInstantEvents(const SimResult& result, int pid, JsonValue* events) {
   for (const auto& event : result.trace.events()) {
     JsonValue instant = JsonValue::Object();
     instant.Set("name", EventKindName(event.kind));
     instant.Set("ph", "i");
     instant.Set("ts", ToMicros(event.time_ms));
-    instant.Set("pid", kPid);
+    instant.Set("pid", pid);
     instant.Set("tid", event.task_id >= 0 ? TaskTid(event.task_id) : kCpuTid);
     instant.Set("s", "t");  // thread-scoped mark
     if (event.kind == TraceEventKind::kSpeedChange) {
@@ -145,8 +152,28 @@ JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
       args.Set("frequency", event.point.frequency);
       args.Set("voltage", event.point.voltage);
     }
-    events.Append(std::move(instant));
+    events->Append(std::move(instant));
   }
+}
+
+// Everything one simulated core contributes to the document.
+void AppendCoreGroup(const SimResult& result, const TaskSet& tasks,
+                     const SimOptions& options, int pid,
+                     const std::string& process_name, JsonValue* events) {
+  AppendTrackMetadata(process_name, tasks, pid, events);
+  AppendFrequencyCounter(result, pid, events);
+  AppendSegmentSlices(result, tasks, options, pid, events);
+  AppendInstantEvents(result, pid, events);
+}
+
+}  // namespace
+
+JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
+                            const SimOptions& options) {
+  JsonValue doc = JsonValue::Object();
+  JsonValue& events = doc.Set("traceEvents", JsonValue::Array());
+  AppendCoreGroup(result, tasks, options, /*pid=*/0,
+                  "rtdvs-sim " + result.policy_name, &events);
 
   doc.Set("displayTimeUnit", "ms");
   JsonValue& other = doc.Set("otherData", JsonValue::Object());
@@ -165,6 +192,62 @@ JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
 bool WriteChromeTrace(const SimResult& result, const TaskSet& tasks,
                       const SimOptions& options, const std::string& path) {
   return WriteJsonFile(ExportChromeTrace(result, tasks, options), path);
+}
+
+JsonValue ExportChromeTraceMp(const MpSimResult& result, const TaskSet& tasks,
+                              const SimOptions& options) {
+  JsonValue doc = JsonValue::Object();
+  JsonValue& events = doc.Set("traceEvents", JsonValue::Array());
+
+  bool truncated = false;
+  size_t segments = 0;
+  if (result.admitted) {
+    for (int c = 0; c < result.num_cores; ++c) {
+      const SimResult& slice = result.cores[static_cast<size_t>(c)];
+      // Global cores simulate the full request set; partitioned cores their
+      // own local sub-set (powered-down cores an empty one).
+      const TaskSet& core_tasks = result.core_tasks[static_cast<size_t>(c)];
+      AppendCoreGroup(slice, core_tasks, options, /*pid=*/c,
+                      StrFormat("core %d: %s", c, slice.policy_name.c_str()),
+                      &events);
+      truncated |= slice.trace.truncated();
+      segments += slice.trace.segments().size();
+    }
+    // Global mode keeps job instant events (releases, misses, completions)
+    // on the cluster trace — a core-independent view of the task set. The
+    // partitioned cluster trace is empty and contributes nothing.
+    if (!result.cluster.trace.events().empty()) {
+      const int cluster_pid = result.num_cores;
+      AppendTrackMetadata(StrFormat("cluster: %s (%s)",
+                                    result.cluster.policy_name.c_str(),
+                                    MpModeName(result.mode)),
+                          tasks, cluster_pid, &events);
+      AppendInstantEvents(result.cluster, cluster_pid, &events);
+    }
+    truncated |= result.cluster.trace.truncated();
+  }
+
+  doc.Set("displayTimeUnit", "ms");
+  JsonValue& other = doc.Set("otherData", JsonValue::Object());
+  other.Set("mode", MpModeName(result.mode));
+  other.Set("num_cores", result.num_cores);
+  other.Set("admitted", result.admitted);
+  other.Set("migrations", result.migrations);
+  other.Set("policy", result.cluster.policy_name);
+  other.Set("horizon_ms", options.horizon_ms);
+  other.Set("truncated", truncated);
+  other.Set("segments", segments);
+  other.Set("exec_energy", result.cluster.exec_energy);
+  other.Set("idle_energy", result.cluster.idle_energy);
+  other.Set("idle_level", options.idle_level);
+  other.Set("energy_coefficient", options.energy_coefficient);
+  other.Set("switch_time_ms", options.switch_time_ms);
+  return doc;
+}
+
+bool WriteChromeTraceMp(const MpSimResult& result, const TaskSet& tasks,
+                        const SimOptions& options, const std::string& path) {
+  return WriteJsonFile(ExportChromeTraceMp(result, tasks, options), path);
 }
 
 }  // namespace rtdvs

@@ -20,6 +20,7 @@ namespace rtdvs {
 
 class JsonValue;
 class TaskSet;
+struct MpSimResult;
 struct SimOptions;
 struct SimResult;
 
@@ -34,6 +35,22 @@ JsonValue ExportChromeTrace(const SimResult& result, const TaskSet& tasks,
 // ExportChromeTrace + write to `path`; returns false on I/O failure.
 bool WriteChromeTrace(const SimResult& result, const TaskSet& tasks,
                       const SimOptions& options, const std::string& path);
+
+// Multiprocessor export: one Chrome-trace track group (process, pid = core
+// index) per core, each with its own CPU track, task tracks, and frequency
+// counter — Perfetto renders the cluster as M grouped cores. Partitioned
+// cores draw task names from their own sub-task-set; powered-down cores
+// emit an empty "core N: off" group. In global mode job instant events
+// (releases, misses, completions) live on one extra "cluster" group (pid =
+// num_cores) named from `tasks`, which must be the request's task set.
+// Infeasible results export metadata only. otherData echoes the cluster
+// run (mode, cores, admitted, migrations, energy totals, truncated flag).
+JsonValue ExportChromeTraceMp(const MpSimResult& result, const TaskSet& tasks,
+                              const SimOptions& options);
+
+// ExportChromeTraceMp + write to `path`; returns false on I/O failure.
+bool WriteChromeTraceMp(const MpSimResult& result, const TaskSet& tasks,
+                        const SimOptions& options, const std::string& path);
 
 }  // namespace rtdvs
 

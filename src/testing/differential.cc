@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/mp_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
 #include "src/util/strings.h"
@@ -244,7 +245,77 @@ std::string TrialOutcome::Describe() const {
   return out;
 }
 
+bool MpResultsAgree(const MpSimResult& production, const MpSimResult& reference,
+                    std::vector<FieldDiff>* diffs) {
+  bool agreed = true;
+  CheckExact(diffs, &agreed, "num_cores", production.num_cores, reference.num_cores);
+  CheckExact(diffs, &agreed, "admitted", production.admitted ? 1 : 0,
+             reference.admitted ? 1 : 0);
+  CheckExact(diffs, &agreed, "migrations", production.migrations,
+             reference.migrations);
+  CheckExact(diffs, &agreed, "partition.feasible", production.partition.feasible ? 1 : 0,
+             reference.partition.feasible ? 1 : 0);
+  CheckExact(diffs, &agreed, "partition.cores_used", production.partition.cores_used,
+             reference.partition.cores_used);
+  CheckExact(diffs, &agreed, "partition.core_of_task.size",
+             static_cast<int64_t>(production.partition.core_of_task.size()),
+             static_cast<int64_t>(reference.partition.core_of_task.size()));
+  if (production.partition.core_of_task.size() ==
+      reference.partition.core_of_task.size()) {
+    for (size_t i = 0; i < production.partition.core_of_task.size(); ++i) {
+      CheckExact(diffs, &agreed, StrFormat("partition.core_of_task[%zu]", i),
+                 production.partition.core_of_task[i],
+                 reference.partition.core_of_task[i]);
+    }
+  }
+  // Infeasible runs carry no slices; the partition verdict above is the
+  // whole comparison.
+  if (!production.admitted || !reference.admitted) {
+    return agreed;
+  }
+
+  auto compare_slice = [&](const std::string& prefix, const SimResult& p,
+                           const SimResult& r) {
+    std::vector<FieldDiff> slice_diffs;
+    if (!ResultsAgree(p, r, diffs != nullptr ? &slice_diffs : nullptr)) {
+      agreed = false;
+    }
+    if (diffs != nullptr) {
+      for (FieldDiff& d : slice_diffs) {
+        d.field = prefix + d.field;
+        diffs->push_back(std::move(d));
+      }
+    }
+  };
+  compare_slice("cluster.", production.cluster, reference.cluster);
+  CheckExact(diffs, &agreed, "cores.size",
+             static_cast<int64_t>(production.cores.size()),
+             static_cast<int64_t>(reference.cores.size()));
+  if (production.cores.size() == reference.cores.size()) {
+    for (size_t core = 0; core < production.cores.size(); ++core) {
+      compare_slice(StrFormat("core[%zu].", core), production.cores[core],
+                    reference.cores[core]);
+    }
+  }
+  return agreed;
+}
+
+MpDifferentialRun RunMpDifferentialCase(const FuzzCase& c,
+                                        const ReferenceFaults& faults) {
+  MpDifferentialRun run;
+  SimRequest request = FuzzSimRequest(c);
+  auto production_model = MakeFuzzExecModel(c.exec_spec);
+  auto reference_model = MakeFuzzExecModel(c.exec_spec);
+  RTDVS_CHECK(production_model != nullptr) << "bad exec spec: " << c.exec_spec;
+  run.production = RunClusterSimulation(request, *production_model);
+  run.reference = RunReferenceClusterSimulation(request, *reference_model, faults);
+  run.agreed = MpResultsAgree(run.production, run.reference, &run.diffs);
+  return run;
+}
+
 DifferentialRun RunDifferentialCase(const FuzzCase& c, const ReferenceFaults& faults) {
+  RTDVS_CHECK(c.num_cores == 1) << "RunDifferentialCase is single-core; use "
+                                   "RunMpDifferentialCase for clusters";
   DifferentialRun run;
   TaskSet tasks = FuzzTasks(c);
   MachineSpec machine = FuzzMachine(c);
@@ -262,12 +333,23 @@ DifferentialRun RunDifferentialCase(const FuzzCase& c, const ReferenceFaults& fa
 TrialOutcome RunFuzzTrial(const FuzzCase& c, bool check_properties,
                           const ReferenceFaults& faults) {
   TrialOutcome outcome;
-  DifferentialRun run = RunDifferentialCase(c, faults);
-  outcome.diffs = std::move(run.diffs);
-  if (check_properties) {
-    outcome.violations = CheckMetamorphicProperties(c);
+  bool agreed = false;
+  if (c.num_cores > 1) {
+    MpDifferentialRun run = RunMpDifferentialCase(c, faults);
+    outcome.diffs = std::move(run.diffs);
+    agreed = run.agreed;
+    // The metamorphic properties are single-core theorems; none of them
+    // holds (or is even well-defined) for cluster schedules, so MP trials
+    // are differential-only.
+  } else {
+    DifferentialRun run = RunDifferentialCase(c, faults);
+    outcome.diffs = std::move(run.diffs);
+    agreed = run.agreed;
+    if (check_properties) {
+      outcome.violations = CheckMetamorphicProperties(c);
+    }
   }
-  outcome.ok = run.agreed && outcome.violations.empty();
+  outcome.ok = agreed && outcome.violations.empty();
   return outcome;
 }
 

@@ -63,11 +63,14 @@ struct TrialOutcome {
 
 // Runs the case through both engines (injecting `faults` into the reference)
 // and compares; when `check_properties` is set, also runs the metamorphic
-// properties against the production engine.
+// properties against the production engine. Cases with num_cores > 1 run
+// through the cluster engines (MpResultsAgree contract); the metamorphic
+// properties are single-core theorems and are skipped for them.
 TrialOutcome RunFuzzTrial(const FuzzCase& c, bool check_properties = true,
                           const ReferenceFaults& faults = {});
 
 // The differential half only, returning both results for inspection.
+// Requires num_cores == 1; multiprocessor cases use RunMpDifferentialCase.
 struct DifferentialRun {
   SimResult production;
   SimResult reference;
@@ -76,6 +79,24 @@ struct DifferentialRun {
 };
 DifferentialRun RunDifferentialCase(const FuzzCase& c,
                                     const ReferenceFaults& faults = {});
+
+// Cluster-level agreement: admission verdict, partition assignment,
+// migrations and cores_used exactly; the cluster totals and every per-core
+// slice under the single-core ResultsAgree contract (fields prefixed
+// "cluster." / "core[c]."). Both results must describe the same request.
+bool MpResultsAgree(const MpSimResult& production, const MpSimResult& reference,
+                    std::vector<FieldDiff>* diffs = nullptr);
+
+// Multiprocessor differential run: production RunClusterSimulation vs the
+// reference cluster oracle on the case's SimRequest (any num_cores >= 1).
+struct MpDifferentialRun {
+  MpSimResult production;
+  MpSimResult reference;
+  bool agreed = false;
+  std::vector<FieldDiff> diffs;
+};
+MpDifferentialRun RunMpDifferentialCase(const FuzzCase& c,
+                                        const ReferenceFaults& faults = {});
 
 }  // namespace rtdvs
 

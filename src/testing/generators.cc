@@ -103,6 +103,18 @@ SimOptions FuzzSimOptions(const FuzzCase& c) {
   return options;
 }
 
+SimRequest FuzzSimRequest(const FuzzCase& c) {
+  SimRequest request;
+  request.tasks = FuzzTasks(c);
+  request.cluster.num_cores = c.num_cores;
+  request.cluster.machine = FuzzMachine(c);
+  request.mode = c.mp_mode;
+  request.partition = c.mp_partition;
+  request.policy_ids = {c.policy_id};
+  request.options = FuzzSimOptions(c);
+  return request;
+}
+
 std::string FuzzCaseToRepro(const FuzzCase& c) {
   std::string out = "rtdvs-fuzz-v1;policy=" + c.policy_id + ";machine=";
   for (size_t i = 0; i < c.machine_points.size(); ++i) {
@@ -121,6 +133,13 @@ std::string FuzzCaseToRepro(const FuzzCase& c) {
   out += std::string(";miss=") +
          (c.miss_policy == MissPolicy::kAbortJob ? "abort" : "late");
   out += ";seed=" + StrFormat("%llu", static_cast<unsigned long long>(c.seed));
+  // Multiprocessor fields only when they matter: single-core repro strings
+  // stay byte-identical to pre-cluster ones.
+  if (c.num_cores > 1) {
+    out += ";cores=" + StrFormat("%d", c.num_cores);
+    out += std::string(";mode=") + MpModeName(c.mp_mode);
+    out += std::string(";fit=") + PartitionHeuristicName(c.mp_partition);
+  }
   return out;
 }
 
@@ -232,6 +251,24 @@ std::optional<FuzzCase> ParseRepro(const std::string& repro, std::string* error)
         return fail("bad seed: " + value);
       }
       c.seed = static_cast<uint64_t>(parsed_seed);
+    } else if (key == "cores") {
+      auto v = ParseInt(value);
+      if (!v || *v < 1 || *v > 64) {
+        return fail("bad cores (want 1..64): " + value);
+      }
+      c.num_cores = static_cast<int>(*v);
+    } else if (key == "mode") {
+      auto mode = ParseMpMode(value);
+      if (!mode) {
+        return fail("bad mode (want partitioned|global): " + value);
+      }
+      c.mp_mode = *mode;
+    } else if (key == "fit") {
+      auto fit = ParsePartitionHeuristic(value);
+      if (!fit) {
+        return fail("bad fit (want ff|nf|bf|wf): " + value);
+      }
+      c.mp_partition = *fit;
     } else {
       return fail("unknown field: " + key);
     }
@@ -252,8 +289,15 @@ bool FuzzCaseEquals(const FuzzCase& a, const FuzzCase& b) {
   if (a.policy_id != b.policy_id || a.exec_spec != b.exec_spec ||
       a.horizon_ms != b.horizon_ms || a.idle_level != b.idle_level ||
       a.switch_time_ms != b.switch_time_ms || a.miss_policy != b.miss_policy ||
-      a.seed != b.seed || a.machine_points.size() != b.machine_points.size() ||
+      a.seed != b.seed || a.num_cores != b.num_cores ||
+      a.machine_points.size() != b.machine_points.size() ||
       a.tasks.size() != b.tasks.size()) {
+    return false;
+  }
+  // Mode and heuristic are inert at one core; compare them only when they
+  // can change behavior (mirroring what the repro string records).
+  if (a.num_cores > 1 &&
+      (a.mp_mode != b.mp_mode || a.mp_partition != b.mp_partition)) {
     return false;
   }
   for (size_t i = 0; i < a.machine_points.size(); ++i) {
@@ -393,6 +437,38 @@ FuzzCase GenerateFuzzCase(Pcg32& rng, const FuzzGenOptions& options) {
                       ? MissPolicy::kAbortJob
                       : MissPolicy::kContinueLate;
   c.seed = (static_cast<uint64_t>(rng.NextU32()) << 32) | rng.NextU32();
+
+  // Multiprocessor draws come LAST, and only when the caller opted into a
+  // non-trivial core pool: with the default {1} the rng stream is
+  // byte-identical to the pre-cluster generator, so historical repro seeds
+  // keep reproducing the same cases.
+  const bool mp_enabled =
+      !(options.core_choices.size() == 1 && options.core_choices[0] == 1);
+  if (mp_enabled) {
+    RTDVS_CHECK(!options.core_choices.empty());
+    c.num_cores = options.core_choices[rng.NextBounded(
+        static_cast<uint32_t>(options.core_choices.size()))];
+    RTDVS_CHECK_GE(c.num_cores, 1);
+    if (c.num_cores > 1) {
+      c.mp_mode = rng.NextDouble() < 0.5 ? MpMode::kPartitioned : MpMode::kGlobal;
+      static const PartitionHeuristic kHeuristics[] = {
+          PartitionHeuristic::kFirstFit, PartitionHeuristic::kNextFit,
+          PartitionHeuristic::kBestFit, PartitionHeuristic::kWorstFit};
+      c.mp_partition = kHeuristics[rng.NextBounded(4)];
+      // Rescale the workload to the cluster: M cores want roughly M times
+      // the tasks and utilization (0.9 keeps most partitioned draws
+      // feasible while still generating some admission rejections).
+      const int scaled_tasks = std::min(num_tasks * c.num_cores, 24);
+      const double scaled_target = target * static_cast<double>(c.num_cores) * 0.9;
+      c.tasks = GenerateFuzzTasks(rng, scaled_tasks, scaled_target, harmonic,
+                                  options.allow_phases);
+      double mp_max_period = 0;
+      for (const Task& task : c.tasks) {
+        mp_max_period = std::max(mp_max_period, task.period_ms + task.phase_ms);
+      }
+      c.horizon_ms = SnapMicro(std::max(c.horizon_ms, 2.2 * mp_max_period));
+    }
+  }
   return c;
 }
 

@@ -23,8 +23,10 @@
 
 #include "src/cpu/machine_spec.h"
 #include "src/cpu/operating_point.h"
+#include "src/engine/cluster.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/task.h"
+#include "src/sim/mp_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/util/random.h"
 
@@ -49,6 +51,12 @@ struct FuzzCase {
   double switch_time_ms = 0.0;
   MissPolicy miss_policy = MissPolicy::kContinueLate;
   uint64_t seed = 1;
+  // Multiprocessor extension: num_cores == 1 is the classic single-core
+  // scenario (the mode/heuristic fields are then inert, and the repro string
+  // omits them so pre-cluster strings stay valid and byte-identical).
+  int num_cores = 1;
+  MpMode mp_mode = MpMode::kPartitioned;
+  PartitionHeuristic mp_partition = PartitionHeuristic::kFirstFit;
 };
 
 // --- Domain-object builders ---
@@ -58,10 +66,16 @@ TaskSet FuzzTasks(const FuzzCase& c);
 std::unique_ptr<ExecTimeModel> MakeFuzzExecModel(const std::string& spec);
 // SimOptions for the case (audit on, trace off, no aperiodic server).
 SimOptions FuzzSimOptions(const FuzzCase& c);
+// The full cluster request (machine, cores, mode, heuristic, one policy id
+// applied to every core, options). For num_cores == 1 this is exactly the
+// M=1 request whose result is bit-identical to the legacy RunSimulation.
+SimRequest FuzzSimRequest(const FuzzCase& c);
 
 // --- Repro strings ---
 // "rtdvs-fuzz-v1;policy=...;machine=f/v,f/v;tasks=P:C:ph,..;exec=..;
 //  horizon=..;idle=..;switch=..;miss=late|abort;seed=.."
+// Multiprocessor cases append ";cores=M;mode=partitioned|global;fit=ff|nf|
+// bf|wf"; single-core cases omit all three fields.
 std::string FuzzCaseToRepro(const FuzzCase& c);
 // nullopt (with *error set, if non-null) on malformed input.
 std::optional<FuzzCase> ParseRepro(const std::string& repro, std::string* error = nullptr);
@@ -86,6 +100,13 @@ struct FuzzGenOptions {
   bool allow_overrun = true;
   bool allow_abort_miss = true;
   bool allow_phases = true;
+  // Cluster sizes to draw from. The default {1} keeps generation
+  // byte-identical to the pre-cluster generator (no extra rng draws at
+  // all); any other pool draws the multiprocessor parameters AFTER every
+  // single-core field so the shared prefix of the rng stream is preserved.
+  // A draw of 1 leaves the case single-core; a draw of M > 1 also rescales
+  // the task set (count and target utilization) to the cluster.
+  std::vector<int> core_choices = {1};
 };
 
 // Draws one scenario. Deterministic in the rng state: the same seeded rng

@@ -77,6 +77,32 @@ std::vector<FuzzCase> SimplifyKnobs(const FuzzCase& c) {
   return out;
 }
 
+std::vector<FuzzCase> SimplifyCluster(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  if (c.num_cores > 1) {
+    // Fewer cores first (2 is the smallest cluster that is still a
+    // cluster), then all the way down to the single-core engine.
+    for (int cores : {c.num_cores / 2, 2, 1}) {
+      if (cores >= 1 && cores < c.num_cores) {
+        FuzzCase candidate = c;
+        candidate.num_cores = cores;
+        out.push_back(std::move(candidate));
+      }
+    }
+    if (c.mp_mode != MpMode::kPartitioned) {
+      FuzzCase candidate = c;
+      candidate.mp_mode = MpMode::kPartitioned;
+      out.push_back(std::move(candidate));
+    }
+    if (c.mp_partition != PartitionHeuristic::kFirstFit) {
+      FuzzCase candidate = c;
+      candidate.mp_partition = PartitionHeuristic::kFirstFit;
+      out.push_back(std::move(candidate));
+    }
+  }
+  return out;
+}
+
 std::vector<FuzzCase> SimplifyExecSpec(const FuzzCase& c) {
   std::vector<FuzzCase> out;
   for (const char* spec : {"c:1", "c:0.5"}) {
@@ -168,9 +194,9 @@ FuzzCase ShrinkFuzzCase(const FuzzCase& failing, const ShrinkPredicate& still_fa
   s.predicate_calls = 1;
 
   static const Move kMoves[] = {
-      DropTasks,        DropMachinePoints, SimplifyKnobs,
-      SimplifyExecSpec, ShrinkHorizon,     RoundTaskNumbers,
-      RoundMachineNumbers,
+      SimplifyCluster,  DropTasks,         DropMachinePoints,
+      SimplifyKnobs,    SimplifyExecSpec,  ShrinkHorizon,
+      RoundTaskNumbers, RoundMachineNumbers,
   };
 
   FuzzCase best = failing;

@@ -319,6 +319,93 @@ TEST(SweepResultToJson, EmitsValidatableDocument) {
   EXPECT_EQ(doc.Get("audit_violations").AsInt(), 0);
 }
 
+TEST(UtilizationSweep, MultiprocessorSweepRunsBothModes) {
+  for (MpMode mode : {MpMode::kPartitioned, MpMode::kGlobal}) {
+    SweepOptions options = SmallOptions();
+    options.num_cores = 2;
+    options.mp_mode = mode;
+    options.policy_ids = {"edf", "cc_edf"};
+    options.utilizations = {0.3};
+    SweepResult result = UtilizationSweep(options).Run();
+    ASSERT_EQ(result.rows.size(), 1u);
+    const SweepRow& row = result.rows[0];
+    // At per-core u = 0.3 every generated set partitions onto 2 EDF cores,
+    // so all shards produce samples in both modes.
+    for (const auto& cell : row.cells) {
+      EXPECT_EQ(cell.admission_rejections, 0);
+      EXPECT_EQ(cell.energy.count(), 4u);
+      EXPECT_GT(cell.energy.mean(), 0.0);
+    }
+    // Normalization baseline is cluster-EDF on the same workload.
+    EXPECT_NEAR(row.cells[0].normalized_energy.mean(), 1.0, 1e-12);
+    EXPECT_LE(row.cells[1].normalized_energy.mean(), 1.0 + 1e-9);
+    EXPECT_EQ(result.audit_violations, 0) << MpModeName(mode);
+  }
+}
+
+TEST(UtilizationSweep, MultiprocessorPartitionedCountsRejections) {
+  SweepOptions options = SmallOptions();
+  options.num_cores = 2;
+  options.mp_mode = MpMode::kPartitioned;
+  options.policy_ids = {"cc_edf"};
+  // Per-core u = 0.95 over 4 tasks: the total target is 1.9, and some draws
+  // put > 1.0 on a single task's core, defeating every bin-packer.
+  options.utilizations = {0.95};
+  options.tasksets_per_point = 12;
+  SweepResult result = UtilizationSweep(options).Run();
+  const PolicyCell& cell = result.rows[0].cells[0];
+  EXPECT_GT(cell.admission_rejections, 0);
+  // Rejected shards contribute no samples; the split is exact.
+  EXPECT_EQ(cell.energy.count() + static_cast<size_t>(cell.admission_rejections),
+            12u);
+}
+
+TEST(UtilizationSweep, MultiprocessorParallelRunBitIdenticalToSerial) {
+  SweepOptions serial_options = SmallOptions();
+  serial_options.num_cores = 4;
+  serial_options.policy_ids = {"edf", "cc_edf", "cc_rm"};
+  serial_options.jobs = 1;
+  SweepOptions parallel_options = serial_options;
+  parallel_options.jobs = 4;
+  SweepResult serial = UtilizationSweep(serial_options).Run();
+  SweepResult parallel = UtilizationSweep(parallel_options).Run();
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (size_t r = 0; r < serial.rows.size(); ++r) {
+    const SweepRow& s = serial.rows[r];
+    const SweepRow& q = parallel.rows[r];
+    EXPECT_EQ(s.bound.mean(), q.bound.mean());
+    for (size_t p = 0; p < s.cells.size(); ++p) {
+      EXPECT_EQ(s.cells[p].energy.count(), q.cells[p].energy.count());
+      EXPECT_EQ(s.cells[p].energy.mean(), q.cells[p].energy.mean());
+      EXPECT_EQ(s.cells[p].normalized_energy.mean(),
+                q.cells[p].normalized_energy.mean());
+      EXPECT_EQ(s.cells[p].admission_rejections, q.cells[p].admission_rejections);
+      EXPECT_EQ(s.cells[p].counters, q.cells[p].counters);
+    }
+  }
+}
+
+TEST(SweepResultToJson, CarriesClusterConfigAndRejections) {
+  SweepOptions options = SmallOptions();
+  options.num_cores = 2;
+  options.mp_mode = MpMode::kGlobal;
+  options.mp_partition = PartitionHeuristic::kWorstFit;
+  options.policy_ids = {"cc_edf"};
+  options.utilizations = {0.4};
+  SweepResult result = UtilizationSweep(options).Run();
+  JsonValue doc = SweepResultToJson(result);
+  EXPECT_EQ(doc.Get("config").Get("num_cores").AsInt(), 2);
+  EXPECT_EQ(doc.Get("config").Get("mp_mode").AsString(), "global");
+  EXPECT_EQ(doc.Get("config").Get("partition").AsString(), "wf");
+  EXPECT_EQ(doc.Get("rows")
+                .at(0)
+                .Get("policies")
+                .at(0)
+                .Get("admission_rejections")
+                .AsInt(),
+            0);
+}
+
 TEST(DefaultUtilizationGrid, TwentyPointsFrom5To100Percent) {
   auto grid = DefaultUtilizationGrid();
   ASSERT_EQ(grid.size(), 20u);

@@ -1,0 +1,169 @@
+// Partitioned-admission unit tests: hand-checked bin-packing fixtures for
+// the four heuristics, the RM utilization table, heterogeneous per-core
+// scheduler kinds, and infeasible rejection. Every expected assignment below
+// was worked out by hand from the admission contract in
+// src/engine/cluster.h before the implementation existed.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/cluster.h"
+#include "src/rt/scheduler.h"
+#include "src/rt/task.h"
+
+namespace rtdvs {
+namespace {
+
+// Tasks with exact utilizations: period 10 ms, wcet = 10 * U.
+TaskSet TasksWithUtilizations(const std::vector<double>& utilizations) {
+  std::vector<Task> tasks;
+  for (double u : utilizations) {
+    tasks.push_back({"", 10.0, 10.0 * u, 0.0});
+  }
+  return TaskSet(tasks);
+}
+
+TEST(ClusterPartitionTest, NamesAndParsersRoundTrip) {
+  EXPECT_STREQ(MpModeName(MpMode::kPartitioned), "partitioned");
+  EXPECT_STREQ(MpModeName(MpMode::kGlobal), "global");
+  EXPECT_EQ(ParseMpMode("partitioned"), MpMode::kPartitioned);
+  EXPECT_EQ(ParseMpMode("global"), MpMode::kGlobal);
+  EXPECT_FALSE(ParseMpMode("clustered").has_value());
+  for (PartitionHeuristic h :
+       {PartitionHeuristic::kFirstFit, PartitionHeuristic::kNextFit,
+        PartitionHeuristic::kBestFit, PartitionHeuristic::kWorstFit}) {
+    EXPECT_EQ(ParsePartitionHeuristic(PartitionHeuristicName(h)), h);
+  }
+  EXPECT_FALSE(ParsePartitionHeuristic("ffd").has_value());
+}
+
+TEST(ClusterPartitionTest, RmUtilizationBoundMatchesLiuLayland) {
+  EXPECT_DOUBLE_EQ(RmUtilizationBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(RmUtilizationBound(1), 1.0);
+  EXPECT_NEAR(RmUtilizationBound(2), 2.0 * (std::sqrt(2.0) - 1.0), 1e-12);
+  EXPECT_NEAR(RmUtilizationBound(3), 3.0 * (std::cbrt(2.0) - 1.0), 1e-12);
+  // The bound decreases toward ln 2.
+  EXPECT_GT(RmUtilizationBound(2), RmUtilizationBound(3));
+  EXPECT_GT(RmUtilizationBound(100), std::log(2.0) - 1e-9);
+}
+
+// Fixture A, U = {0.5, 0.6, 0.3} on 2 EDF cores. Hand-check:
+//   FF: t0->c0 (0.5); t1 doesn't fit c0 (1.1) -> c1; t2 fits c0 (0.8) -> c0.
+//   NF: cursor moves to c1 after t1, so t2 lands on c1 (0.9).
+//   BF: t2 admitted by both, highest-utilization core is c1 (0.6) -> c1.
+//   WF: t2 admitted by both, lowest-utilization core is c0 (0.5) -> c0.
+// So A separates {FF, WF} = [0,1,0] from {NF, BF} = [0,1,1].
+TEST(ClusterPartitionTest, FixtureASeparatesFirstWorstFromNextBest) {
+  TaskSet tasks = TasksWithUtilizations({0.5, 0.6, 0.3});
+  PartitionResult ff = PartitionTasks(tasks, 2, PartitionHeuristic::kFirstFit);
+  PartitionResult nf = PartitionTasks(tasks, 2, PartitionHeuristic::kNextFit);
+  PartitionResult bf = PartitionTasks(tasks, 2, PartitionHeuristic::kBestFit);
+  PartitionResult wf = PartitionTasks(tasks, 2, PartitionHeuristic::kWorstFit);
+  for (const PartitionResult* r : {&ff, &nf, &bf, &wf}) {
+    ASSERT_TRUE(r->feasible) << r->error;
+    EXPECT_EQ(r->cores_used, 2);
+  }
+  EXPECT_EQ(ff.core_of_task, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(nf.core_of_task, (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(bf.core_of_task, (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(wf.core_of_task, (std::vector<int>{0, 1, 0}));
+  EXPECT_NEAR(ff.core_utilization[0], 0.8, 1e-12);
+  EXPECT_NEAR(ff.core_utilization[1], 0.6, 1e-12);
+  EXPECT_NEAR(bf.core_utilization[1], 0.9, 1e-12);
+  EXPECT_EQ(ff.core_task_count, (std::vector<int>{2, 1}));
+  EXPECT_EQ(nf.core_task_count, (std::vector<int>{1, 2}));
+}
+
+// Fixture B, U = {0.6, 0.5, 0.2} on 2 EDF cores. Hand-check:
+//   FF: t2 fits c0 (0.8) -> c0.          BF: highest admitting is c0 (0.6).
+//   NF: cursor sits on c1 -> c1 (0.7).   WF: lowest admitting is c1 (0.5).
+// So B separates {FF, BF} = [0,1,0] from {NF, WF} = [0,1,1]. Combined with
+// fixture A, every heuristic's (A, B) outcome pair is unique, so the two
+// fixtures together distinguish all four heuristics pairwise.
+TEST(ClusterPartitionTest, FixtureBSeparatesFirstBestFromNextWorst) {
+  TaskSet tasks = TasksWithUtilizations({0.6, 0.5, 0.2});
+  PartitionResult ff = PartitionTasks(tasks, 2, PartitionHeuristic::kFirstFit);
+  PartitionResult nf = PartitionTasks(tasks, 2, PartitionHeuristic::kNextFit);
+  PartitionResult bf = PartitionTasks(tasks, 2, PartitionHeuristic::kBestFit);
+  PartitionResult wf = PartitionTasks(tasks, 2, PartitionHeuristic::kWorstFit);
+  EXPECT_EQ(ff.core_of_task, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(nf.core_of_task, (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(bf.core_of_task, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(wf.core_of_task, (std::vector<int>{0, 1, 1}));
+}
+
+TEST(ClusterPartitionTest, WorstFitSpreadsAcrossEmptyCores) {
+  // Four tasks of U = 0.4 on 4 cores: WF always picks the emptiest core, so
+  // each task gets its own; FF stacks pairs (0.8 <= 1).
+  TaskSet tasks = TasksWithUtilizations({0.4, 0.4, 0.4, 0.4});
+  PartitionResult wf = PartitionTasks(tasks, 4, PartitionHeuristic::kWorstFit);
+  PartitionResult ff = PartitionTasks(tasks, 4, PartitionHeuristic::kFirstFit);
+  EXPECT_EQ(wf.core_of_task, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(wf.cores_used, 4);
+  EXPECT_EQ(ff.core_of_task, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(ff.cores_used, 2);
+}
+
+TEST(ClusterPartitionTest, RmBoundTighterThanEdf) {
+  // Two U = 0.5 tasks share one EDF core (sum exactly 1.0) but not one RM
+  // core (1.0 > 2(sqrt(2)-1) ~ 0.828).
+  TaskSet tasks = TasksWithUtilizations({0.5, 0.5});
+  PartitionResult edf = PartitionTasks(tasks, 2, PartitionHeuristic::kFirstFit,
+                                       SchedulerKind::kEdf);
+  PartitionResult rm = PartitionTasks(tasks, 2, PartitionHeuristic::kFirstFit,
+                                      SchedulerKind::kRm);
+  ASSERT_TRUE(edf.feasible);
+  ASSERT_TRUE(rm.feasible);
+  EXPECT_EQ(edf.core_of_task, (std::vector<int>{0, 0}));
+  EXPECT_EQ(rm.core_of_task, (std::vector<int>{0, 1}));
+  // A third U = 0.5 task then fits nowhere under RM on 2 cores.
+  PartitionResult rm3 = PartitionTasks(TasksWithUtilizations({0.5, 0.5, 0.5}), 2,
+                                       PartitionHeuristic::kFirstFit,
+                                       SchedulerKind::kRm);
+  EXPECT_FALSE(rm3.feasible);
+}
+
+TEST(ClusterPartitionTest, HeterogeneousCoresAdmitPerDestinationKind) {
+  // U = {0.7, 0.2}: an EDF core 0 takes both (0.9 <= 1); an RM core 0
+  // rejects the second (0.9 > 0.828) and pushes it to core 1.
+  TaskSet tasks = TasksWithUtilizations({0.7, 0.2});
+  PartitionResult mixed =
+      PartitionTasks(tasks, 2, PartitionHeuristic::kFirstFit,
+                     std::vector<SchedulerKind>{SchedulerKind::kEdf,
+                                                SchedulerKind::kRm});
+  PartitionResult rm = PartitionTasks(tasks, 2, PartitionHeuristic::kFirstFit,
+                                      SchedulerKind::kRm);
+  EXPECT_EQ(mixed.core_of_task, (std::vector<int>{0, 0}));
+  EXPECT_EQ(rm.core_of_task, (std::vector<int>{0, 1}));
+}
+
+TEST(ClusterPartitionTest, InfeasibleSetRejectedWithExplanation) {
+  // Three U = 0.7 tasks cannot share 2 EDF cores (any pair sums to 1.4).
+  TaskSet tasks = TasksWithUtilizations({0.7, 0.7, 0.7});
+  for (PartitionHeuristic h :
+       {PartitionHeuristic::kFirstFit, PartitionHeuristic::kNextFit,
+        PartitionHeuristic::kBestFit, PartitionHeuristic::kWorstFit}) {
+    PartitionResult r = PartitionTasks(tasks, 2, h);
+    EXPECT_FALSE(r.feasible) << PartitionHeuristicName(h);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.cores_used, 0);
+    EXPECT_EQ(r.core_of_task, (std::vector<int>{-1, -1, -1}));
+  }
+  // The same set is trivially feasible on 3 cores.
+  EXPECT_TRUE(PartitionTasks(tasks, 3, PartitionHeuristic::kFirstFit).feasible);
+}
+
+TEST(ClusterPartitionTest, AdmissionToleranceAcceptsExactFullCore) {
+  // Utilizations summing to exactly 1.0 on one EDF core must be admitted
+  // (the +1e-9 tolerance exists for accumulated rounding, and 0.25 * 4 is
+  // exact in binary anyway).
+  TaskSet tasks = TasksWithUtilizations({0.25, 0.25, 0.25, 0.25});
+  PartitionResult r = PartitionTasks(tasks, 1, PartitionHeuristic::kFirstFit);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_EQ(r.cores_used, 1);
+  EXPECT_NEAR(r.core_utilization[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtdvs

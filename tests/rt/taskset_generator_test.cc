@@ -100,8 +100,25 @@ TEST(TaskSetGeneratorDeathTest, RejectsBadOptions) {
   options.num_tasks = 0;
   EXPECT_DEATH(TaskSetGenerator{options}, "CHECK failed");
   options.num_tasks = 3;
-  options.target_utilization = 1.5;
+  // The cap is one full core per task (multiprocessor sweeps target U > 1);
+  // beyond num_tasks no valid set exists and construction must abort.
+  options.target_utilization = 3.5;
   EXPECT_DEATH(TaskSetGenerator{options}, "CHECK failed");
+}
+
+TEST(TaskSetGenerator, MulticoreTargetsAboveOneGenerate) {
+  TaskSetGeneratorOptions options;
+  options.num_tasks = 8;
+  options.target_utilization = 1.9;  // 2-core sweep at per-core u = 0.95
+  TaskSetGenerator generator(options);
+  Pcg32 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    TaskSet set = generator.Generate(rng);
+    EXPECT_NEAR(set.TotalUtilization(), 1.9, 0.02);
+    for (int t = 0; t < set.size(); ++t) {
+      EXPECT_LE(set.task(t).wcet_ms, set.task(t).period_ms);
+    }
+  }
 }
 
 }  // namespace

@@ -16,8 +16,10 @@
 
 #include "src/cpu/machine_spec.h"
 #include "src/dvs/policy.h"
+#include "src/engine/cluster.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/task.h"
+#include "src/sim/mp_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/util/json.h"
 
@@ -229,6 +231,132 @@ TEST(TraceExport, WriteChromeTraceRoundTrips) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->ToString(), ExportChromeTrace(result, tasks, options).ToString());
   std::remove(path.c_str());
+}
+
+SimRequest MpRequest(MpMode mode) {
+  SimRequest request;
+  std::vector<Task> tasks = {{"A", 10.0, 4.0, 0.0},
+                             {"B", 15.0, 6.0, 0.0},
+                             {"C", 20.0, 9.0, 0.0}};
+  request.tasks = TaskSet(tasks);
+  request.cluster.num_cores = 2;
+  request.cluster.machine = MachineSpec::Machine0();
+  request.mode = mode;
+  request.policy_ids = {"cc_edf"};
+  request.options.horizon_ms = 60.0;
+  request.options.record_trace = true;
+  return request;
+}
+
+TEST(TraceExportMp, PartitionedExportGroupsTracksPerCore) {
+  SimRequest request = MpRequest(MpMode::kPartitioned);
+  ConstantFractionModel model(0.7);
+  MpSimResult result = RunClusterSimulation(request, model);
+  ASSERT_TRUE(result.admitted);
+  JsonValue doc = ExportChromeTraceMp(result, request.tasks, request.options);
+
+  // One process per core, named for the core; every event's pid is a valid
+  // core index (no cluster group: partitioned cluster traces are empty).
+  std::vector<std::string> process_names;
+  const JsonValue& events = doc.Get("traceEvents");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    const int64_t pid = event.Get("pid").AsInt();
+    EXPECT_GE(pid, 0);
+    EXPECT_LT(pid, 2);
+    if (event.Get("ph").AsString() == "M" &&
+        event.Get("name").AsString() == "process_name") {
+      process_names.push_back(event.Get("args").Get("name").AsString());
+    }
+  }
+  ASSERT_EQ(process_names.size(), 2u);
+  EXPECT_EQ(process_names[0], "core 0: ccEDF");
+  EXPECT_EQ(process_names[1], "core 1: ccEDF");
+
+  // Per-core execution slices re-sum to each core's exec energy.
+  for (int c = 0; c < 2; ++c) {
+    double exec = 0.0;
+    for (size_t i = 0; i < events.size(); ++i) {
+      const JsonValue& event = events.at(i);
+      if (event.Get("pid").AsInt() == c && event.Get("ph").AsString() == "X" &&
+          event.Get("tid").AsInt() != 0) {
+        exec += event.Get("args").Get("energy").AsDouble();
+      }
+    }
+    const double expected = result.cores[static_cast<size_t>(c)].exec_energy;
+    EXPECT_NEAR(exec, expected, 1e-9 * (1.0 + expected)) << "core " << c;
+  }
+
+  const JsonValue& other = doc.Get("otherData");
+  EXPECT_EQ(other.Get("mode").AsString(), "partitioned");
+  EXPECT_EQ(other.Get("num_cores").AsInt(), 2);
+  EXPECT_TRUE(other.Get("admitted").AsBool());
+  EXPECT_EQ(other.Get("migrations").AsInt(), 0);
+}
+
+TEST(TraceExportMp, GlobalExportCarriesClusterEventGroup) {
+  SimRequest request = MpRequest(MpMode::kGlobal);
+  ConstantFractionModel model(0.7);
+  MpSimResult result = RunClusterSimulation(request, model);
+  ASSERT_TRUE(result.admitted);
+  JsonValue doc = ExportChromeTraceMp(result, request.tasks, request.options);
+
+  // Global mode adds the cluster group at pid == num_cores, carrying the
+  // job instant events; per-core groups carry the execution slices.
+  const JsonValue& events = doc.Get("traceEvents");
+  bool saw_cluster_instant = false;
+  bool saw_core_slice = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    const int64_t pid = event.Get("pid").AsInt();
+    EXPECT_LE(pid, 2);
+    if (pid == 2 && event.Get("ph").AsString() == "i") {
+      saw_cluster_instant = true;
+    }
+    if (pid < 2 && event.Get("ph").AsString() == "X") {
+      saw_core_slice = true;
+    }
+  }
+  EXPECT_TRUE(saw_cluster_instant);
+  EXPECT_TRUE(saw_core_slice);
+}
+
+TEST(TraceExportMp, PoweredDownCoreExportsEmptyOffGroup) {
+  SimRequest request = MpRequest(MpMode::kPartitioned);
+  std::vector<Task> tiny = {{"A", 10.0, 1.0, 0.0}};
+  request.tasks = TaskSet(tiny);
+  request.cluster.num_cores = 2;
+  ConstantFractionModel model(1.0);
+  MpSimResult result = RunClusterSimulation(request, model);
+  ASSERT_TRUE(result.admitted);
+  JsonValue doc = ExportChromeTraceMp(result, request.tasks, request.options);
+  const JsonValue& events = doc.Get("traceEvents");
+  std::string core1_name;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    if (event.Get("pid").AsInt() == 1) {
+      // Powered-down core: metadata only, no slices or counters.
+      EXPECT_EQ(event.Get("ph").AsString(), "M");
+      if (event.Get("name").AsString() == "process_name") {
+        core1_name = event.Get("args").Get("name").AsString();
+      }
+    }
+  }
+  EXPECT_EQ(core1_name, "core 1: off");
+}
+
+TEST(TraceExportMp, InfeasibleResultExportsMetadataOnly) {
+  SimRequest request = MpRequest(MpMode::kPartitioned);
+  std::vector<Task> heavy = {{"A", 10.0, 7.0, 0.0},
+                             {"B", 10.0, 7.0, 0.0},
+                             {"C", 10.0, 7.0, 0.0}};
+  request.tasks = TaskSet(heavy);
+  ConstantFractionModel model(1.0);
+  MpSimResult result = RunClusterSimulation(request, model);
+  ASSERT_FALSE(result.admitted);
+  JsonValue doc = ExportChromeTraceMp(result, request.tasks, request.options);
+  EXPECT_EQ(doc.Get("traceEvents").size(), 0u);
+  EXPECT_FALSE(doc.Get("otherData").Get("admitted").AsBool());
 }
 
 }  // namespace

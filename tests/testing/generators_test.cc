@@ -117,6 +117,105 @@ TEST(GeneratorsTest, ParseReproRejectsMalformedInput) {
   }
 }
 
+TEST(GeneratorsTest, LegacyCorePoolDrawsIdenticalCasesToPreClusterGenerator) {
+  // The default core pool {1} must not consume ANY extra randomness: two
+  // rngs in the same state, one generating with the default options and one
+  // with an explicit {1} pool, must stay in lockstep across cases.
+  Pcg32 a(21, 0);
+  Pcg32 b(21, 0);
+  FuzzGenOptions explicit_single;
+  explicit_single.core_choices = {1};
+  for (int i = 0; i < 50; ++i) {
+    FuzzCase case_a = GenerateFuzzCase(a);
+    FuzzCase case_b = GenerateFuzzCase(b, explicit_single);
+    EXPECT_TRUE(FuzzCaseEquals(case_a, case_b));
+    EXPECT_EQ(case_a.num_cores, 1);
+    // Single-core repro strings never mention the cluster fields.
+    EXPECT_EQ(FuzzCaseToRepro(case_a).find(";cores="), std::string::npos);
+  }
+}
+
+TEST(GeneratorsTest, ClusterDrawsCoverModesAndHeuristics) {
+  FuzzGenOptions options;
+  options.core_choices = {2, 4};
+  std::set<int> cores;
+  std::set<std::string> modes;
+  std::set<std::string> fits;
+  for (uint64_t stream = 0; stream < 200; ++stream) {
+    Pcg32 rng(23, stream);
+    FuzzCase c = GenerateFuzzCase(rng, options);
+    ASSERT_TRUE(c.num_cores == 2 || c.num_cores == 4);
+    cores.insert(c.num_cores);
+    modes.insert(MpModeName(c.mp_mode));
+    fits.insert(PartitionHeuristicName(c.mp_partition));
+    // The rescaled task set still builds.
+    TaskSet tasks = FuzzTasks(c);
+    EXPECT_GE(tasks.size(), 1);
+    EXPECT_GT(c.horizon_ms, 0.0);
+  }
+  EXPECT_EQ(cores.size(), 2u);
+  EXPECT_EQ(modes.size(), 2u);
+  EXPECT_EQ(fits.size(), 4u);
+}
+
+TEST(GeneratorsTest, ClusterReproRoundTripIsExact) {
+  FuzzGenOptions options;
+  options.core_choices = {2, 4};
+  for (uint64_t stream = 0; stream < 100; ++stream) {
+    Pcg32 rng(27, stream);
+    FuzzCase original = GenerateFuzzCase(rng, options);
+    std::string repro = FuzzCaseToRepro(original);
+    EXPECT_NE(repro.find(";cores="), std::string::npos);
+    EXPECT_NE(repro.find(";mode="), std::string::npos);
+    EXPECT_NE(repro.find(";fit="), std::string::npos);
+    std::string error;
+    auto parsed = ParseRepro(repro, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << "\n" << repro;
+    EXPECT_TRUE(FuzzCaseEquals(original, *parsed)) << repro;
+    EXPECT_EQ(FuzzCaseToRepro(*parsed), repro);
+  }
+}
+
+TEST(GeneratorsTest, ParseReproRejectsBadClusterFields) {
+  const char* bad[] = {
+      "rtdvs-fuzz-v1;tasks=5:1:0;cores=0",          // cores must be >= 1
+      "rtdvs-fuzz-v1;tasks=5:1:0;cores=65",         // and <= 64
+      "rtdvs-fuzz-v1;tasks=5:1:0;cores=two",        // and a number
+      "rtdvs-fuzz-v1;tasks=5:1:0;mode=clustered",   // unknown mode
+      "rtdvs-fuzz-v1;tasks=5:1:0;fit=ffd",          // unknown heuristic
+  };
+  for (const char* repro : bad) {
+    std::string error;
+    EXPECT_FALSE(ParseRepro(repro, &error).has_value()) << repro;
+    EXPECT_FALSE(error.empty()) << repro;
+  }
+  // And a well-formed cluster repro parses.
+  auto parsed = ParseRepro(
+      "rtdvs-fuzz-v1;tasks=5:1:0,8:2:0;cores=4;mode=global;fit=wf");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_cores, 4);
+  EXPECT_EQ(parsed->mp_mode, MpMode::kGlobal);
+  EXPECT_EQ(parsed->mp_partition, PartitionHeuristic::kWorstFit);
+}
+
+TEST(GeneratorsTest, FuzzSimRequestMirrorsTheCase) {
+  FuzzCase c;
+  c.policy_id = "la_edf";
+  c.tasks = {{"", 10.0, 2.0, 0.0}};
+  c.num_cores = 4;
+  c.mp_mode = MpMode::kGlobal;
+  c.mp_partition = PartitionHeuristic::kBestFit;
+  c.seed = 77;
+  SimRequest request = FuzzSimRequest(c);
+  EXPECT_EQ(request.cluster.num_cores, 4);
+  EXPECT_EQ(request.mode, MpMode::kGlobal);
+  EXPECT_EQ(request.partition, PartitionHeuristic::kBestFit);
+  ASSERT_EQ(request.policy_ids.size(), 1u);
+  EXPECT_EQ(request.policy_ids[0], "la_edf");
+  EXPECT_EQ(request.options.seed, 77u);
+  EXPECT_EQ(request.tasks.size(), 1);
+}
+
 TEST(GeneratorsTest, ExecModelGrammarCoversAllForms) {
   EXPECT_NE(MakeFuzzExecModel("c:1"), nullptr);
   EXPECT_NE(MakeFuzzExecModel("c:0.5"), nullptr);

@@ -53,6 +53,7 @@ int Main(int argc, char** argv) {
   int64_t jobs = 0;
   int64_t max_ms = 0;
   std::string policies;
+  std::string cores_list = "1";
   std::string repro;
   std::string inject_bug = "none";
   std::string repro_out;
@@ -73,6 +74,10 @@ int Main(int argc, char** argv) {
                  "exceeded (0 = run all trials)");
   flags.AddString("policies", &policies,
                   "comma-separated policy pool (empty = the paper's six)");
+  flags.AddString("cores", &cores_list,
+                  "comma-separated cluster sizes to draw from, e.g. 1,2,4; "
+                  "sizes > 1 fuzz the multiprocessor driver (partitioned and "
+                  "global) against the reference oracle");
   flags.AddString("repro", &repro,
                   "replay one failure from its repro string instead of fuzzing");
   flags.AddString("inject-bug", &inject_bug,
@@ -108,6 +113,18 @@ int Main(int argc, char** argv) {
         return 1;
       }
       gen_options.policy_pool.push_back(trimmed);
+    }
+  }
+  if (!cores_list.empty()) {
+    gen_options.core_choices.clear();
+    for (const auto& field : Split(cores_list, ',')) {
+      auto parsed = ParseInt(Trim(field));
+      if (!parsed || *parsed < 1 || *parsed > 16) {
+        std::fprintf(stderr, "bad --cores entry '%s' (want integers in 1..16)\n",
+                     std::string(Trim(field)).c_str());
+        return 1;
+      }
+      gen_options.core_choices.push_back(static_cast<int>(*parsed));
     }
   }
 
