@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "src/util/json.h"
+#include "src/util/provenance.h"
 #include "src/util/table.h"
 
 namespace rtdvs {
@@ -24,7 +25,11 @@ class BenchJson {
   explicit BenchJson(std::string bench_name)
       : name_(std::move(bench_name)),
         config_(JsonValue::Object()),
-        sections_(JsonValue::Array()) {}
+        sections_(JsonValue::Array()) {
+    // Stamped first so rtdvs-benchdiff can always decide host comparability,
+    // even for a bench that records no flags of its own.
+    config_.Set("provenance", ProvenanceJson());
+  }
 
   // Records one flag/parameter of the run, e.g. Config("tasksets", 50).
   void Config(const std::string& key, JsonValue value) {

@@ -31,6 +31,7 @@ struct SweepBenchFlags {
   int64_t jobs = 0;    // worker threads; 0 = hardware concurrency
   bool quick = false;  // 10 task sets, coarse grid: CI-friendly smoke run
   bool progress = false;  // live shard progress on stderr
+  bool profile = false;   // per-span self-profiling in the sweep JSON
   std::string json_path;  // "" = no machine-readable output
 };
 
@@ -47,6 +48,9 @@ inline bool ParseSweepFlags(int argc, char** argv, const std::string& descriptio
   flag_set.AddBool("quick", &flags->quick, "coarse smoke-test configuration");
   flag_set.AddBool("progress", &flags->progress,
                    "live progress line on stderr (shards done, elapsed, ETA)");
+  flag_set.AddBool("profile", &flags->profile,
+                   "record per-span timing (engine/sim/sweep scopes) into the "
+                   "sweep profile section");
   flag_set.AddString("json", &flags->json_path,
                      "also write the report as rtdvs-bench-v1 JSON to this path");
   if (!flag_set.Parse(argc, argv)) {
@@ -71,6 +75,7 @@ inline void ApplySweepFlags(const SweepBenchFlags& flags, SweepOptions* options)
   if (flags.progress) {
     options->progress = MakeStderrProgress();
   }
+  options->profile = flags.profile;
 }
 
 // Records the shared flags in the bench's JSON config object.
@@ -79,6 +84,7 @@ inline void RecordSweepFlags(const SweepBenchFlags& flags, BenchJson* json) {
   json->Config("sim_ms", flags.sim_ms);
   json->Config("jobs", flags.jobs);
   json->Config("quick", flags.quick);
+  json->Config("profile", flags.profile);
 }
 
 // Runs the sweep and prints the standard panel; when `json` is non-null the

@@ -1,0 +1,427 @@
+#include "src/core/benchdiff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace rtdvs {
+namespace {
+
+// Near-zero baselines make relative change meaningless; below this the
+// comparison falls back to absolute semantics (0 -> 0 is Ok, 0 -> anything
+// is a full-threshold move in the sign's direction).
+constexpr double kZeroEps = 1e-12;
+
+bool NumericCell(const std::string& text, double* value) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+void AddMetric(const std::string& key, double value, BenchDoc* doc) {
+  doc->metrics[key] = value;
+}
+
+void ExtractValuesSection(const std::string& prefix, const JsonValue& values,
+                          BenchDoc* doc) {
+  for (const auto& [key, value] : values.entries()) {
+    if (value.is_number()) {
+      AddMetric(prefix + "/" + key, value.AsDouble(), doc);
+    }
+  }
+}
+
+void ExtractTableSection(const std::string& prefix, const JsonValue& table,
+                         BenchDoc* doc) {
+  const JsonValue* header = table.Find("header");
+  const JsonValue* rows = table.Find("rows");
+  if (header == nullptr || rows == nullptr) {
+    return;
+  }
+  for (size_t r = 0; r < rows->size(); ++r) {
+    const JsonValue& row = rows->at(r);
+    if (row.size() == 0) {
+      continue;
+    }
+    // The first column labels the row (utilization, jobs count, ...).
+    const std::string label = row.at(0).AsString();
+    for (size_t c = 1; c < row.size() && c < header->size(); ++c) {
+      double value = 0;
+      if (NumericCell(row.at(c).AsString(), &value)) {
+        AddMetric(prefix + "/" + label + "/" + header->at(c).AsString(), value,
+                  doc);
+      }
+    }
+  }
+}
+
+void ExtractSweepSection(const std::string& prefix, const JsonValue& sweep,
+                         BenchDoc* doc) {
+  if (const JsonValue* profile = sweep.Find("profile")) {
+    for (const char* key :
+         {"sims_per_sec", "shards_per_sec", "mean_shard_ms", "p95_shard_ms",
+          "mean_queue_wait_ms", "p95_queue_wait_ms"}) {
+      if (const JsonValue* value = profile->Find(key); value != nullptr &&
+                                                       value->is_number()) {
+        AddMetric(prefix + "/profile/" + key, value->AsDouble(), doc);
+      }
+    }
+  }
+  if (const JsonValue* wall = sweep.Find("elapsed_wall_ms")) {
+    AddMetric(prefix + "/elapsed_wall_ms", wall->AsDouble(), doc);
+  }
+  if (const JsonValue* violations = sweep.Find("audit_violations")) {
+    AddMetric(prefix + "/audit_violations", violations->AsDouble(), doc);
+  }
+  const JsonValue* rows = sweep.Find("rows");
+  if (rows == nullptr) {
+    return;
+  }
+  for (size_t r = 0; r < rows->size(); ++r) {
+    const JsonValue& row = rows->at(r);
+    const JsonValue* policies = row.Find("policies");
+    if (policies == nullptr) {
+      continue;
+    }
+    const std::string row_key =
+        prefix + "/u=" + FormatDouble(row.Get("utilization").AsDouble(), 2);
+    for (size_t p = 0; p < policies->size(); ++p) {
+      const JsonValue& cell = policies->at(p);
+      const std::string cell_key = row_key + "/" + cell.Get("id").AsString();
+      AddMetric(cell_key + "/normalized", cell.Get("normalized").AsDouble(),
+                doc);
+      AddMetric(cell_key + "/deadline_misses",
+                cell.Get("deadline_misses").AsDouble(), doc);
+    }
+  }
+}
+
+std::string ConfigFingerprint(const JsonValue& config) {
+  JsonValue stripped = JsonValue::Object();
+  for (const auto& [key, value] : config.entries()) {
+    if (key != "provenance") {
+      stripped.Set(key, value);
+    }
+  }
+  return stripped.ToString();
+}
+
+double ThresholdFor(const std::string& key, const DiffOptions& options) {
+  for (const auto& [substr, threshold] : options.threshold_overrides) {
+    if (key.find(substr) != std::string::npos) {
+      return threshold;
+    }
+  }
+  return options.threshold;
+}
+
+DeltaVerdict Judge(const MetricDelta& delta, double threshold) {
+  if (delta.direction == MetricDirection::kInformational) {
+    return DeltaVerdict::kOk;
+  }
+  double goodness;  // positive = moved in the good direction
+  if (std::abs(delta.baseline) < kZeroEps) {
+    if (std::abs(delta.candidate) < kZeroEps) {
+      return DeltaVerdict::kOk;
+    }
+    // 0 -> nonzero: e.g. deadline misses appearing, or throughput on a
+    // previously-empty metric. Always beyond any relative threshold.
+    goodness = delta.candidate > 0 ? 2 * threshold : -2 * threshold;
+    if (delta.direction == MetricDirection::kLowerIsBetter) {
+      goodness = -goodness;
+    }
+  } else {
+    goodness = delta.rel_change;
+    if (delta.direction == MetricDirection::kLowerIsBetter) {
+      goodness = -goodness;
+    }
+  }
+  if (goodness > threshold) {
+    return DeltaVerdict::kImproved;
+  }
+  if (goodness < -threshold) {
+    return DeltaVerdict::kRegressed;
+  }
+  return DeltaVerdict::kOk;
+}
+
+const BenchDoc* FindBench(const std::vector<BenchDoc>& docs,
+                          const std::string& name) {
+  for (const BenchDoc& doc : docs) {
+    if (doc.bench == name) {
+      return &doc;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<BenchDoc> ExtractBenchDoc(const JsonValue& doc,
+                                        std::string* error) {
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->AsString() != "rtdvs-bench-v1") {
+    if (error != nullptr) {
+      *error = "not an rtdvs-bench-v1 document";
+    }
+    return std::nullopt;
+  }
+  BenchDoc out;
+  out.bench = doc.Get("bench").AsString();
+  if (const JsonValue* config = doc.Find("config")) {
+    out.config_fingerprint = ConfigFingerprint(*config);
+    if (const JsonValue* provenance = config->Find("provenance")) {
+      for (const auto& [key, value] : provenance->entries()) {
+        out.provenance[key] = value.kind() == JsonValue::Kind::kString
+                                  ? value.AsString()
+                                  : value.ToString();
+      }
+    }
+  }
+  if (const JsonValue* sections = doc.Find("sections")) {
+    for (size_t s = 0; s < sections->size(); ++s) {
+      const JsonValue& section = sections->at(s);
+      const std::string prefix =
+          out.bench + "/" + section.Get("title").AsString();
+      if (const JsonValue* values = section.Find("values")) {
+        ExtractValuesSection(prefix, *values, &out);
+      } else if (const JsonValue* table = section.Find("table")) {
+        ExtractTableSection(prefix, *table, &out);
+      } else if (const JsonValue* sweep = section.Find("sweep")) {
+        ExtractSweepSection(prefix, *sweep, &out);
+      }
+    }
+  }
+  return out;
+}
+
+MetricDirection DirectionForMetric(std::string_view key) {
+  std::string lower(key);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  auto has = [&lower](const char* needle) {
+    return lower.find(needle) != std::string::npos;
+  };
+  // Lower-is-better is checked first: "energy_per_sec" is an energy rate
+  // (lower = better), not a throughput, despite the "per_sec" suffix.
+  if (has("energy") || has("_ms") || has("elapsed") || has("miss") ||
+      has("violation") || has("wait") || has("normalized") ||
+      has("rejection") || has("overrun") || has("bound")) {
+    return MetricDirection::kLowerIsBetter;
+  }
+  if (has("per_sec") || has("throughput") || has("efficiency") ||
+      has("speedup") || has("completions")) {
+    return MetricDirection::kHigherIsBetter;
+  }
+  return MetricDirection::kInformational;
+}
+
+const char* DeltaVerdictName(DeltaVerdict verdict) {
+  switch (verdict) {
+    case DeltaVerdict::kOk:
+      return "ok";
+    case DeltaVerdict::kImproved:
+      return "improved";
+    case DeltaVerdict::kRegressed:
+      return "regressed";
+    case DeltaVerdict::kMissing:
+      return "missing";
+    case DeltaVerdict::kNew:
+      return "new";
+  }
+  return "unknown";
+}
+
+DiffReport DiffBenchDocs(const std::vector<BenchDoc>& baseline,
+                         const std::vector<BenchDoc>& candidate,
+                         const DiffOptions& options) {
+  DiffReport report;
+
+  // Comparability: any provenance or config mismatch on a matched bench
+  // downgrades the WHOLE report — a regression verdict in one section is
+  // not trustworthy when the run environments differ anywhere.
+  for (const BenchDoc& base : baseline) {
+    const BenchDoc* cand = FindBench(candidate, base.bench);
+    if (cand == nullptr) {
+      report.notes.push_back("bench '" + base.bench +
+                             "' missing from candidate");
+      continue;
+    }
+    if (options.ignore_provenance) {
+      continue;
+    }
+    for (const char* field :
+         {"hostname", "hardware_concurrency", "build_type", "sanitize"}) {
+      auto b = base.provenance.find(field);
+      auto c = cand->provenance.find(field);
+      const std::string bv = b == base.provenance.end() ? "?" : b->second;
+      const std::string cv = c == cand->provenance.end() ? "?" : c->second;
+      if (bv != cv) {
+        report.downgraded = true;
+        report.notes.push_back(StrFormat(
+            "%s: provenance mismatch (%s: %s vs %s) — regressions downgraded "
+            "to warnings",
+            base.bench.c_str(), field, bv.c_str(), cv.c_str()));
+      }
+    }
+    if (base.config_fingerprint != cand->config_fingerprint) {
+      report.downgraded = true;
+      report.notes.push_back(
+          base.bench +
+          ": config mismatch (different flags/quick mode?) — regressions "
+          "downgraded to warnings");
+    }
+  }
+  for (const BenchDoc& cand : candidate) {
+    if (FindBench(baseline, cand.bench) == nullptr) {
+      report.notes.push_back("bench '" + cand.bench +
+                             "' new in candidate (no baseline)");
+    }
+  }
+
+  // Union of metric keys, in lexicographic order for a stable report.
+  std::map<std::string, std::pair<const double*, const double*>> joined;
+  for (const BenchDoc& doc : baseline) {
+    for (const auto& [key, value] : doc.metrics) {
+      joined[key].first = &value;
+    }
+  }
+  for (const BenchDoc& doc : candidate) {
+    for (const auto& [key, value] : doc.metrics) {
+      joined[key].second = &value;
+    }
+  }
+
+  for (const auto& [key, pair] : joined) {
+    MetricDelta delta;
+    delta.key = key;
+    delta.direction = DirectionForMetric(key);
+    if (pair.first == nullptr) {
+      delta.candidate = *pair.second;
+      delta.verdict = DeltaVerdict::kNew;
+      ++report.added;
+    } else if (pair.second == nullptr) {
+      delta.baseline = *pair.first;
+      delta.verdict = DeltaVerdict::kMissing;
+      ++report.missing;
+    } else {
+      delta.baseline = *pair.first;
+      delta.candidate = *pair.second;
+      if (std::abs(delta.baseline) >= kZeroEps) {
+        delta.rel_change =
+            (delta.candidate - delta.baseline) / std::abs(delta.baseline);
+      }
+      delta.verdict = Judge(delta, ThresholdFor(key, options));
+      switch (delta.verdict) {
+        case DeltaVerdict::kOk:
+          ++report.ok;
+          break;
+        case DeltaVerdict::kImproved:
+          ++report.improved;
+          break;
+        case DeltaVerdict::kRegressed:
+          ++report.regressed;
+          break;
+        default:
+          break;
+      }
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+
+  const bool any_bad = report.regressed > 0 || report.missing > 0 ||
+                       [&] {
+                         for (const auto& note : report.notes) {
+                           if (note.find("missing from candidate") !=
+                               std::string::npos) {
+                             return true;
+                           }
+                         }
+                         return false;
+                       }();
+  report.hard_fail = any_bad && !report.downgraded;
+  return report;
+}
+
+JsonValue DiffReport::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "rtdvs-benchdiff-v1");
+  JsonValue& summary = doc.Set("summary", JsonValue::Object());
+  summary.Set("ok", ok);
+  summary.Set("improved", improved);
+  summary.Set("regressed", regressed);
+  summary.Set("missing", missing);
+  summary.Set("new", added);
+  summary.Set("downgraded", downgraded);
+  summary.Set("hard_fail", hard_fail);
+  JsonValue& notes_doc = doc.Set("notes", JsonValue::Array());
+  for (const std::string& note : notes) {
+    notes_doc.Append(note);
+  }
+  JsonValue& deltas_doc = doc.Set("deltas", JsonValue::Array());
+  for (const MetricDelta& delta : deltas) {
+    if (delta.verdict == DeltaVerdict::kOk) {
+      continue;  // the summary counts them; listing thousands helps no one
+    }
+    JsonValue& entry = deltas_doc.Append(JsonValue::Object());
+    entry.Set("metric", delta.key);
+    entry.Set("verdict", DeltaVerdictName(delta.verdict));
+    entry.Set("baseline", delta.baseline);
+    entry.Set("candidate", delta.candidate);
+    entry.Set("rel_change", delta.rel_change);
+  }
+  return doc;
+}
+
+std::string DiffReport::ToMarkdown() const {
+  std::ostringstream out;
+  out << "# rtdvs-benchdiff report\n\n";
+  out << "| verdict | count |\n|---|---|\n";
+  out << "| ok | " << ok << " |\n";
+  out << "| improved | " << improved << " |\n";
+  out << "| regressed | " << regressed << " |\n";
+  out << "| missing | " << missing << " |\n";
+  out << "| new | " << added << " |\n\n";
+  if (!notes.empty()) {
+    out << "## Notes\n\n";
+    for (const std::string& note : notes) {
+      out << "- " << note << "\n";
+    }
+    out << "\n";
+  }
+  bool any = false;
+  for (const MetricDelta& delta : deltas) {
+    if (delta.verdict == DeltaVerdict::kOk) {
+      continue;
+    }
+    if (!any) {
+      out << "## Changed metrics\n\n";
+      out << "| metric | verdict | baseline | candidate | change |\n";
+      out << "|---|---|---|---|---|\n";
+      any = true;
+    }
+    out << "| `" << delta.key << "` | " << DeltaVerdictName(delta.verdict)
+        << " | " << FormatDouble(delta.baseline, 6) << " | "
+        << FormatDouble(delta.candidate, 6) << " | "
+        << FormatDouble(delta.rel_change * 100.0, 2) << "% |\n";
+  }
+  if (!any) {
+    out << "No metric moved beyond its threshold.\n";
+  }
+  out << "\nresult: "
+      << (hard_fail ? "REGRESSED"
+                    : (downgraded ? "DOWNGRADED (warnings only)" : "OK"))
+      << "\n";
+  return out.str();
+}
+
+}  // namespace rtdvs

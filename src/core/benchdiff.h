@@ -1,0 +1,122 @@
+// Cross-run comparison of rtdvs-bench-v1 documents — the library behind
+// tools/rtdvs-benchdiff and the CI perf-regression gate.
+//
+// A bench document is flattened into named scalar metrics
+// ("fig09/absolute energy/profile/sims_per_sec"), two runs are matched
+// metric-by-metric, and each delta is judged against a noise threshold
+// using per-metric direction metadata (throughput up = good, latency up =
+// bad). The report serializes as markdown (CI artifact) and JSON, and
+// carries a single hard_fail bit for the exit code.
+//
+// Comparability guard: rtdvs-bench-v1 documents stamp provenance (host,
+// core count, build type, sanitizers — see src/util/provenance.h) and
+// their run configuration. When those differ between baseline and
+// candidate, timing deltas are apples-to-oranges, so the report downgrades
+// every would-be failure to a warning instead of hard-failing CI.
+#ifndef SRC_CORE_BENCHDIFF_H_
+#define SRC_CORE_BENCHDIFF_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace rtdvs {
+
+// One bench document reduced to comparable data.
+struct BenchDoc {
+  std::string bench;  // the document's "bench" name; metric keys prefix it
+  // Flattened provenance fields, e.g. {"hostname": "ci-runner-3", ...}.
+  std::map<std::string, std::string> provenance;
+  // Compact serialization of config minus provenance: two runs with
+  // different flags (e.g. --quick vs full) are not comparable either.
+  std::string config_fingerprint;
+  std::map<std::string, double> metrics;
+};
+
+// Flattens one parsed rtdvs-bench-v1 document. Returns nullopt (with
+// *error set) when the document does not carry the expected schema tag.
+// Extracted metrics:
+//   values sections — every numeric entry;
+//   sweep sections  — profile throughput/latency figures, wall time, audit
+//                     violations, and per-(utilization, policy) normalized
+//                     energy + deadline misses;
+//   table sections  — every numeric-looking cell, keyed by first-column
+//                     row label and column header.
+std::optional<BenchDoc> ExtractBenchDoc(const JsonValue& doc,
+                                        std::string* error);
+
+enum class MetricDirection {
+  kHigherIsBetter,   // throughput, efficiency, speedup
+  kLowerIsBetter,    // latency, energy, misses, violations
+  kInformational,    // counters with no quality ordering (e.g. seeds)
+};
+
+// Substring-based classification of a metric key; see benchdiff.cc for the
+// exact rules. Lower-is-better wins over higher-is-better when both match
+// ("energy_per_sec" is an energy rate, not a throughput).
+MetricDirection DirectionForMetric(std::string_view key);
+
+enum class DeltaVerdict {
+  kOk,         // within threshold (or informational)
+  kImproved,   // beyond threshold in the good direction
+  kRegressed,  // beyond threshold in the bad direction
+  kMissing,    // in baseline, absent from candidate — treated as regression
+  kNew,        // in candidate only — informational
+};
+
+const char* DeltaVerdictName(DeltaVerdict verdict);
+
+struct MetricDelta {
+  std::string key;
+  double baseline = 0;
+  double candidate = 0;
+  // (candidate - baseline) / |baseline|; 0 when baseline == 0 (the
+  // absolute values carry the story then).
+  double rel_change = 0;
+  MetricDirection direction = MetricDirection::kInformational;
+  DeltaVerdict verdict = DeltaVerdict::kOk;
+};
+
+struct DiffOptions {
+  // Relative change a directional metric may move before it counts as an
+  // improvement/regression.
+  double threshold = 0.10;
+  // Per-metric overrides: first entry whose substring matches the key wins.
+  std::vector<std::pair<std::string, double>> threshold_overrides;
+  // Compare timing metrics across differing hosts/configs as if they were
+  // comparable (no downgrade). For local experiments only.
+  bool ignore_provenance = false;
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> deltas;  // key order; all verdicts included
+  int64_t ok = 0;
+  int64_t improved = 0;
+  int64_t regressed = 0;
+  int64_t missing = 0;
+  int64_t added = 0;
+  // True when provenance/config differences forced warnings-only mode;
+  // `notes` says why (also used for bench-level mismatches).
+  bool downgraded = false;
+  std::vector<std::string> notes;
+  // The exit-code bit: regressions or missing metrics, not downgraded.
+  bool hard_fail = false;
+
+  JsonValue ToJson() const;
+  std::string ToMarkdown() const;
+};
+
+// Compares two sets of bench documents (matched by bench name). A bench
+// present only in the baseline is a regression-level event (downgradeable
+// like any other); one only in the candidate is informational.
+DiffReport DiffBenchDocs(const std::vector<BenchDoc>& baseline,
+                         const std::vector<BenchDoc>& candidate,
+                         const DiffOptions& options);
+
+}  // namespace rtdvs
+
+#endif  // SRC_CORE_BENCHDIFF_H_

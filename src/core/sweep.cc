@@ -14,6 +14,7 @@
 #include "src/sim/mp_simulator.h"
 #include "src/util/check.h"
 #include "src/util/json.h"
+#include "src/util/profiler.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
 
@@ -343,6 +344,10 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
     }
   }
 
+  if (options_.profile) {
+    Profiler::Enable();
+  }
+
   std::vector<ShardOutcome> outcomes(num_utils * sets);
   // Shard timing, collected by the thread pool's observer in completion
   // order (diagnostics only — see SweepProfile), and progress bookkeeping.
@@ -371,7 +376,13 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
         const size_t shard = ui * sets + si;
         pending.push_back(pool.Submit([this, utilization, shard, &shard_rngs,
                                        &outcomes] {
-          outcomes[shard] = RunShard(options_, utilization, shard_rngs[shard]);
+          {
+            RTDVS_PROF_SCOPE("sweep/shard/execute");
+            outcomes[shard] = RunShard(options_, utilization, shard_rngs[shard]);
+          }
+          // Worker threads may be retired with the pool; bank this thread's
+          // samples into the global accumulator while it is still alive.
+          Profiler::FlushThisThread();
         }));
       }
     }
@@ -412,6 +423,9 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
         PolicyCell& cell = row.cells[p];
         if (!outcome.policies[p].admitted) {
           ++cell.admission_rejections;
+          // Mirrored into the mergeable counters so rejections surface in
+          // profile.policy_counters totals alongside migrations.
+          ++cell.counters.admission_rejections;
           continue;
         }
         cell.energy.Add(outcome.policies[p].energy);
@@ -464,7 +478,13 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
     }
     result.profile.mean_queue_wait_ms =
         sum / static_cast<double>(queue_waits.size());
+    result.profile.p95_queue_wait_ms = Percentile(queue_waits, 95);
     result.profile.max_queue_wait_ms = max;
+  }
+  if (options_.profile) {
+    // The pool joined above, so every worker flushed; Drain also flushes
+    // this (the driver) thread for the jobs == 1 in-line case.
+    result.profile.spans = Profiler::Drain();
   }
   return result;
 }
@@ -509,23 +529,6 @@ bool AnyDeadlineMiss(const SweepResult& result) {
   }
   return false;
 }
-
-namespace {
-
-JsonValue CountersToJson(const PolicyCounters& counters) {
-  JsonValue doc = JsonValue::Object();
-  doc.Set("speed_change_requests", counters.speed_change_requests);
-  doc.Set("speed_transitions", counters.speed_transitions);
-  doc.Set("slack_completions", counters.slack_completions);
-  doc.Set("slack_reclaimed_ms", counters.slack_reclaimed_ms);
-  doc.Set("deferral_decisions", counters.deferral_decisions);
-  doc.Set("work_deferred_ms", counters.work_deferred_ms);
-  doc.Set("utilization_samples", counters.utilization_samples);
-  doc.Set("utilization_sum", counters.utilization_sum);
-  return doc;
-}
-
-}  // namespace
 
 JsonValue SweepResultToJson(const SweepResult& result) {
   const SweepOptions& options = result.options;
@@ -572,7 +575,7 @@ JsonValue SweepResultToJson(const SweepResult& result) {
       cell_doc.Set("tasksets_with_misses", cell.tasksets_with_misses);
       cell_doc.Set("audit_violations", cell.audit_violations);
       cell_doc.Set("admission_rejections", cell.admission_rejections);
-      cell_doc.Set("counters", CountersToJson(cell.counters));
+      cell_doc.Set("counters", PolicyCountersToJson(cell.counters));
     }
   }
 
@@ -584,13 +587,17 @@ JsonValue SweepResultToJson(const SweepResult& result) {
   profile.Set("p95_shard_ms", result.profile.p95_shard_ms);
   profile.Set("max_shard_ms", result.profile.max_shard_ms);
   profile.Set("mean_queue_wait_ms", result.profile.mean_queue_wait_ms);
+  profile.Set("p95_queue_wait_ms", result.profile.p95_queue_wait_ms);
   profile.Set("max_queue_wait_ms", result.profile.max_queue_wait_ms);
   profile.Set("shards_per_sec", result.profile.shards_per_sec);
   profile.Set("sims_per_sec", result.profile.sims_per_sec);
   JsonValue& totals = profile.Set("policy_counters", JsonValue::Object());
   for (size_t p = 0; p < result.profile.policy_counters.size(); ++p) {
     totals.Set(options.policy_ids[p],
-               CountersToJson(result.profile.policy_counters[p]));
+               PolicyCountersToJson(result.profile.policy_counters[p]));
+  }
+  if (!result.profile.spans.empty()) {
+    profile.Set("spans", result.profile.spans.ToJson());
   }
 
   doc.Set("audit_violations", result.audit_violations);

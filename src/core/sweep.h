@@ -35,6 +35,7 @@
 #include "src/rt/exec_time_model.h"
 #include "src/rt/taskset_generator.h"
 #include "src/sim/simulator.h"
+#include "src/util/profiler.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -90,6 +91,11 @@ struct SweepOptions {
   // but arrive from worker threads in completion order — keep it fast and
   // do not touch sweep state from it.
   std::function<void(int64_t done, int64_t total)> progress;
+  // Collect RTDVS_PROF_SCOPE span timings during the sweep and report them
+  // in SweepProfile::spans. Enables the process-global Profiler, so spans
+  // from anything else running concurrently in the process fold in too —
+  // one profiled sweep at a time. Off: spans cost one predicted branch.
+  bool profile = false;
 };
 
 // Aggregated outcome of one policy at one utilization point.
@@ -130,11 +136,16 @@ struct SweepProfile {
   double p95_shard_ms = 0;
   double max_shard_ms = 0;
   double mean_queue_wait_ms = 0;
+  double p95_queue_wait_ms = 0;
   double max_queue_wait_ms = 0;
   double shards_per_sec = 0;  // over Run()'s wall time
   double sims_per_sec = 0;
   // Grid-wide totals per policy, parallel to options.policy_ids.
   std::vector<PolicyCounters> policy_counters;
+  // RTDVS_PROF_SCOPE span aggregation, drained after the pool joined.
+  // Empty unless SweepOptions::profile; span counts are deterministic,
+  // durations are wall-clock diagnostics.
+  ProfileSnapshot spans;
 };
 
 // The complete outcome of one sweep: the data, an echo of the (resolved)

@@ -1,0 +1,22 @@
+#include "src/dvs/policy_counters.h"
+
+#include "src/util/json.h"
+
+namespace rtdvs {
+
+JsonValue PolicyCountersToJson(const PolicyCounters& c) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("speed_change_requests", c.speed_change_requests);
+  doc.Set("speed_transitions", c.speed_transitions);
+  doc.Set("slack_completions", c.slack_completions);
+  doc.Set("slack_reclaimed_ms", c.slack_reclaimed_ms);
+  doc.Set("deferral_decisions", c.deferral_decisions);
+  doc.Set("work_deferred_ms", c.work_deferred_ms);
+  doc.Set("utilization_samples", c.utilization_samples);
+  doc.Set("utilization_sum", c.utilization_sum);
+  doc.Set("migrations", c.migrations);
+  doc.Set("admission_rejections", c.admission_rejections);
+  return doc;
+}
+
+}  // namespace rtdvs

@@ -33,6 +33,11 @@ struct PolicyCounters {
   // figure to pick a frequency), plus their sum for averaging.
   int64_t utilization_samples = 0;
   double utilization_sum = 0;
+  // Multiprocessor observability (zero for uniprocessor runs). Migrations:
+  // global-mode dispatches that moved a job off its last core. Admission
+  // rejections: tasks the partitioner could not fit on any core.
+  int64_t migrations = 0;
+  int64_t admission_rejections = 0;
 
   void MergeFrom(const PolicyCounters& other) {
     speed_change_requests += other.speed_change_requests;
@@ -43,6 +48,8 @@ struct PolicyCounters {
     work_deferred_ms += other.work_deferred_ms;
     utilization_samples += other.utilization_samples;
     utilization_sum += other.utilization_sum;
+    migrations += other.migrations;
+    admission_rejections += other.admission_rejections;
   }
 
   // This minus `base`, field-wise; the per-run delta when `base` was
@@ -57,11 +64,20 @@ struct PolicyCounters {
     d.work_deferred_ms = work_deferred_ms - base.work_deferred_ms;
     d.utilization_samples = utilization_samples - base.utilization_samples;
     d.utilization_sum = utilization_sum - base.utilization_sum;
+    d.migrations = migrations - base.migrations;
+    d.admission_rejections = admission_rejections - base.admission_rejections;
     return d;
   }
 
   friend bool operator==(const PolicyCounters&, const PolicyCounters&) = default;
 };
+
+class JsonValue;
+
+// One shared serialization for sweep cells, rtdvs-sim --json, and MP slice
+// output — field order fixed here so every emitter is byte-compatible.
+// Defined in src/dvs/policy_counters.cc.
+JsonValue PolicyCountersToJson(const PolicyCounters& c);
 
 }  // namespace rtdvs
 

@@ -24,6 +24,7 @@
 #include "src/cpu/machine_spec.h"
 #include "src/cpu/operating_point.h"
 #include "src/engine/trace_sink.h"
+#include "src/util/profiler.h"
 
 namespace rtdvs {
 
@@ -71,6 +72,7 @@ class EnergyAccountant {
   // Zero-length segments are ignored; callers need not guard.
   void RecordExecution(double start_ms, double end_ms, double work, int task_id,
                        const OperatingPoint& point) {
+    RTDVS_PROF_SCOPE("engine/energy/record_execution");
     const double dt = end_ms - start_ms;
     if (dt <= 0) {
       return;
@@ -90,6 +92,7 @@ class EnergyAccountant {
   }
 
   void RecordIdle(double start_ms, double end_ms, const OperatingPoint& point) {
+    RTDVS_PROF_SCOPE("engine/energy/record_idle");
     const double dt = end_ms - start_ms;
     if (dt <= 0) {
       return;
@@ -111,6 +114,7 @@ class EnergyAccountant {
   // switching_ms; energy is host-defined (the model host charges none).
   void RecordSwitchHalt(double start_ms, double end_ms,
                         const OperatingPoint& point) {
+    RTDVS_PROF_SCOPE("engine/energy/record_switch_halt");
     const double dt = end_ms - start_ms;
     if (dt <= 0) {
       return;

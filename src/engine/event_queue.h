@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/profiler.h"
 
 namespace rtdvs {
 
@@ -59,6 +60,7 @@ class EventQueue {
   // both hosts, and the comparator must inline into the std heap algorithms.
   void Push(double time_ms, EngineEventType type, int task_id = -1,
             uint64_t payload = 0) {
+    RTDVS_PROF_SCOPE("engine/event_queue/push");
     EngineEvent event;
     event.time_ms = time_ms;
     event.type = type;
@@ -81,6 +83,7 @@ class EventQueue {
   // Removes and returns the earliest event. Fatal when Empty() or when the
   // popped event outranks an event still queued (heap corruption).
   EngineEvent Pop() {
+    RTDVS_PROF_SCOPE("engine/event_queue/pop");
     RTDVS_CHECK(!heap_.empty()) << "Pop() on an empty event queue";
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     EngineEvent event = heap_.back();

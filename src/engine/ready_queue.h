@@ -17,6 +17,7 @@
 #include "src/rt/scheduler.h"
 #include "src/rt/task.h"
 #include "src/util/check.h"
+#include "src/util/profiler.h"
 
 namespace rtdvs {
 
@@ -28,6 +29,7 @@ class ReadyQueue {
   // Highest-priority runnable job (finished/suspended skipped), or
   // Scheduler::kNone. Inline: selection runs once per step on both hosts.
   size_t Pick(const std::vector<Job>& jobs, const TaskSet& tasks) const {
+    RTDVS_PROF_SCOPE("engine/ready_queue/pick");
     RTDVS_CHECK(scheduler_ != nullptr) << "ReadyQueue used before BindScheduler";
     return scheduler_->PickJob(jobs, tasks);
   }
@@ -67,6 +69,7 @@ class ReadyQueue {
   // creation order beyond that. Returns indices into `jobs`.
   std::vector<size_t> PickTopK(const std::vector<Job>& jobs, const TaskSet& tasks,
                                size_t k) const {
+    RTDVS_PROF_SCOPE("engine/ready_queue/pick_top_k");
     RTDVS_CHECK(scheduler_ != nullptr) << "ReadyQueue used before BindScheduler";
     std::vector<size_t> ready;
     for (size_t i = 0; i < jobs.size(); ++i) {

@@ -8,6 +8,7 @@
 #include "src/cpu/lower_bound.h"
 #include "src/util/check.h"
 #include "src/util/json.h"
+#include "src/util/profiler.h"
 #include "src/util/time_eps.h"
 
 namespace rtdvs {
@@ -172,6 +173,7 @@ void RunPartitioned(const SimRequest& request,
   InitClusterResult(request.tasks.size(), request.cluster.machine,
                     request.options, &out->cluster);
   for (int core = 0; core < num_cores; ++core) {
+    RTDVS_PROF_SCOPE("mp/core/run");
     const auto c = static_cast<size_t>(core);
     if (out->core_tasks[c].empty()) {
       out->cores[c] = PoweredDownSlice(request.cluster.machine, request.options);
@@ -283,33 +285,36 @@ class GlobalClusterEngine {
 
     while (now_ < options_.horizon_ms - kTimeEpsMs) {
       // --- Dispatch: the M highest-priority jobs, with core affinity. ---
-      std::vector<size_t> picked = ready_.PickTopK(jobs_, tasks_, m);
       std::vector<int> core_job(m, -1);  // index into jobs_, -1 = idle core
-      std::vector<char> placed(picked.size(), 0);
-      // Pass 1: a job keeps its previous core when that core is free.
-      for (size_t p = 0; p < picked.size(); ++p) {
-        const int prev = last_core_[picked[p]];
-        if (prev >= 0 && core_job[static_cast<size_t>(prev)] < 0) {
-          core_job[static_cast<size_t>(prev)] = static_cast<int>(picked[p]);
-          placed[p] = 1;
+      {
+        RTDVS_PROF_SCOPE("mp/global/dispatch");
+        std::vector<size_t> picked = ready_.PickTopK(jobs_, tasks_, m);
+        std::vector<char> placed(picked.size(), 0);
+        // Pass 1: a job keeps its previous core when that core is free.
+        for (size_t p = 0; p < picked.size(); ++p) {
+          const int prev = last_core_[picked[p]];
+          if (prev >= 0 && core_job[static_cast<size_t>(prev)] < 0) {
+            core_job[static_cast<size_t>(prev)] = static_cast<int>(picked[p]);
+            placed[p] = 1;
+          }
         }
-      }
-      // Pass 2: remaining jobs fill free cores lowest-index-first in
-      // priority order; landing away from the previous core is a migration.
-      size_t next_free = 0;
-      for (size_t p = 0; p < picked.size(); ++p) {
-        if (placed[p]) {
-          continue;
+        // Pass 2: remaining jobs fill free cores lowest-index-first in
+        // priority order; landing away from the previous core is a migration.
+        size_t next_free = 0;
+        for (size_t p = 0; p < picked.size(); ++p) {
+          if (placed[p]) {
+            continue;
+          }
+          while (core_job[next_free] >= 0) {
+            ++next_free;
+          }
+          core_job[next_free] = static_cast<int>(picked[p]);
+          if (last_core_[picked[p]] >= 0 &&
+              last_core_[picked[p]] != static_cast<int>(next_free)) {
+            ++out_->migrations;
+          }
+          last_core_[picked[p]] = static_cast<int>(next_free);
         }
-        while (core_job[next_free] >= 0) {
-          ++next_free;
-        }
-        core_job[next_free] = static_cast<int>(picked[p]);
-        if (last_core_[picked[p]] >= 0 &&
-            last_core_[picked[p]] != static_cast<int>(next_free)) {
-          ++out_->migrations;
-        }
-        last_core_[picked[p]] = static_cast<int>(next_free);
       }
       // Preemptions: a job dispatched last segment, still unfinished, that
       // lost its slot this segment (diagnostic; not a divergence-checked
@@ -616,6 +621,7 @@ JsonValue SliceToJson(const SimResult& slice) {
   out.Set("speed_switches", slice.speed_switches);
   out.Set("preemptions", slice.preemptions);
   out.Set("lower_bound_energy", slice.lower_bound_energy);
+  out.Set("counters", PolicyCountersToJson(slice.policy_counters));
   JsonValue residency = JsonValue::Array();
   for (const PointResidency& res : slice.residency) {
     JsonValue entry = JsonValue::Object();
@@ -645,6 +651,12 @@ MpSimResult RunClusterSimulation(const SimRequest& request,
       << "need exactly one policy per core";
   RTDVS_CHECK(!request.tasks.empty()) << "cannot simulate an empty task set";
 
+  if (request.options.profile) {
+    // Single-core and partitioned paths enable via Simulator::Run; the
+    // global engine drives the components directly, so enable here.
+    Profiler::Enable();
+  }
+
   MpSimResult out;
   out.mode = request.mode;
   out.num_cores = num_cores;
@@ -666,6 +678,10 @@ MpSimResult RunClusterSimulation(const SimRequest& request,
     out.cluster.policy_name = ClusterPolicyName(policies);
     out.cluster.scheduler = policies.front()->scheduler_kind();
     out.cluster.horizon_ms = request.options.horizon_ms;
+    // Fold cluster-level migration accounting into the mergeable counters so
+    // sweep profile totals and rtdvs-sim --json report it alongside the
+    // per-policy decision counters (always 0 in partitioned mode).
+    out.cluster.policy_counters.migrations = out.migrations;
     if (request.options.audit) {
       out.cluster_audit = AuditMpResult(out, request.options);
       out.cluster.audit = out.cluster_audit;

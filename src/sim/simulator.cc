@@ -5,6 +5,7 @@
 
 #include "src/cpu/lower_bound.h"
 #include "src/util/check.h"
+#include "src/util/profiler.h"
 #include "src/util/strings.h"
 #include "src/util/time_eps.h"
 
@@ -233,6 +234,9 @@ void Simulator::BuildContext(double now) {
 SimResult Simulator::Run() {
   RTDVS_CHECK(!ran_) << "Simulator::Run may be called once";
   ran_ = true;
+  if (options_.profile) {
+    Profiler::Enable();
+  }
   // Counters accumulate over the policy's lifetime and the policy object may
   // be reused across runs; report the per-run delta.
   const PolicyCounters counters_at_start = policy_->counters();
@@ -288,6 +292,7 @@ SimResult Simulator::Run() {
   bool was_idle = false;
 
   while (now_ < options_.horizon_ms - kTimeEpsMs) {
+    RTDVS_PROF_SCOPE("sim/step");
     // A server job holding budget with an empty queue is not runnable.
     if (aperiodic_.has_value()) {
       for (auto& job : jobs_) {
@@ -468,39 +473,42 @@ SimResult Simulator::Run() {
                 jobs_.end());
 
     // --- Policy callbacks: completions first, then releases. ---
-    BuildContext(now_);
-    for (int task_id : completed) {
-      policy_->OnTaskCompletion(task_id, ctx_, *speed_);
-    }
-    for (int task_id : released) {
-      policy_->OnTaskRelease(task_id, ctx_, *speed_);
-    }
-    for (int task_id : completed_after_release) {
-      policy_->OnTaskCompletion(task_id, ctx_, *speed_);
-    }
-
-    // Timer wakeup (non-RT interval baseline).
-    if (wakeup.has_value() && *wakeup <= now_ + kTimeEpsMs) {
-      policy_->OnWakeup(ctx_, *speed_);
-    }
-    wakeup = policy_->NextWakeupMs(ctx_);
-    SyncPolicyTimer(wakeup);
-
-    // Idle notification: fires once per idle period.
-    bool any_unfinished = false;
-    for (const auto& job : jobs_) {
-      if (!job.finished) {
-        any_unfinished = true;
-        break;
+    {
+      RTDVS_PROF_SCOPE("sim/policy/callbacks");
+      BuildContext(now_);
+      for (int task_id : completed) {
+        policy_->OnTaskCompletion(task_id, ctx_, *speed_);
       }
-    }
-    if (!any_unfinished && !was_idle) {
-      policy_->OnIdle(ctx_, *speed_);
-      if (options_.record_trace) {
-        result_.trace.AddEvent({now_, TraceEventKind::kIdleStart, -1, {}});
+      for (int task_id : released) {
+        policy_->OnTaskRelease(task_id, ctx_, *speed_);
       }
+      for (int task_id : completed_after_release) {
+        policy_->OnTaskCompletion(task_id, ctx_, *speed_);
+      }
+
+      // Timer wakeup (non-RT interval baseline).
+      if (wakeup.has_value() && *wakeup <= now_ + kTimeEpsMs) {
+        policy_->OnWakeup(ctx_, *speed_);
+      }
+      wakeup = policy_->NextWakeupMs(ctx_);
+      SyncPolicyTimer(wakeup);
+
+      // Idle notification: fires once per idle period.
+      bool any_unfinished = false;
+      for (const auto& job : jobs_) {
+        if (!job.finished) {
+          any_unfinished = true;
+          break;
+        }
+      }
+      if (!any_unfinished && !was_idle) {
+        policy_->OnIdle(ctx_, *speed_);
+        if (options_.record_trace) {
+          result_.trace.AddEvent({now_, TraceEventKind::kIdleStart, -1, {}});
+        }
+      }
+      was_idle = !any_unfinished;
     }
-    was_idle = !any_unfinished;
   }
 
   const EngineTotals& totals = accountant_.totals();
@@ -534,6 +542,9 @@ SimResult Simulator::Run() {
     inputs.policy_guarantees_deadlines = policy_->guarantees_deadlines();
     result_.audit = AuditSimResult(result_, inputs);
   }
+  // Bank this run's spans while still on the thread that recorded them
+  // (sweep worker threads are retired with the pool).
+  Profiler::FlushThisThread();
   return result_;
 }
 

@@ -66,6 +66,11 @@ struct SimOptions {
   bool audit = true;
   // Seed for the execution-time model's randomness.
   uint64_t seed = 1;
+  // Turn on the process-global RTDVS_PROF_SCOPE profiler for this run; span
+  // aggregates are flushed at the end of Run() and surface via
+  // Profiler::Drain() (rtdvs-sim --profile wires this). Off: each span
+  // costs one predicted branch.
+  bool profile = false;
   // Optional aperiodic server (footnote 1 of the paper): when kind is not
   // kNone, the simulator appends a periodic "server" task of the given
   // period/budget to the task set and serves the configured arrival stream

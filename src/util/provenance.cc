@@ -1,0 +1,41 @@
+#include "src/util/provenance.h"
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "src/util/json.h"
+
+// The build system stamps these; fall back to "unknown" so a hand-rolled
+// compile (or a source tarball without .git) still produces a valid
+// document rather than a build error.
+#ifndef RTDVS_GIT_SHA
+#define RTDVS_GIT_SHA "unknown"
+#endif
+#ifndef RTDVS_BUILD_TYPE
+#define RTDVS_BUILD_TYPE "unknown"
+#endif
+#ifndef RTDVS_SANITIZE_FLAGS
+#define RTDVS_SANITIZE_FLAGS "none"
+#endif
+
+namespace rtdvs {
+
+JsonValue ProvenanceJson() {
+  JsonValue out = JsonValue::Object();
+  out.Set("git_sha", RTDVS_GIT_SHA);
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host)) != 0) {
+    host[0] = '\0';
+  }
+  host[sizeof(host) - 1] = '\0';
+  out.Set("hostname", std::string(host[0] ? host : "unknown"));
+  out.Set("hardware_concurrency",
+          static_cast<int64_t>(std::thread::hardware_concurrency()));
+  out.Set("build_type", RTDVS_BUILD_TYPE);
+  out.Set("sanitize", RTDVS_SANITIZE_FLAGS);
+  return out;
+}
+
+}  // namespace rtdvs

@@ -1,0 +1,22 @@
+// Build/host provenance for machine-readable reports.
+//
+// Every rtdvs-bench-v1 document carries a config.provenance object so a
+// later rtdvs-benchdiff run can tell whether two files are comparable:
+// timing metrics from different hosts, core counts, build types, or
+// sanitizer configurations are apples-to-oranges, and the comparator
+// downgrades regressions to warnings when these fields differ.
+#ifndef SRC_UTIL_PROVENANCE_H_
+#define SRC_UTIL_PROVENANCE_H_
+
+namespace rtdvs {
+
+class JsonValue;
+
+// {"git_sha", "hostname", "hardware_concurrency", "build_type",
+//  "sanitize"} — git_sha/build_type/sanitize are baked in at configure
+// time (RTDVS_GIT_SHA etc.), hostname and core count read at runtime.
+JsonValue ProvenanceJson();
+
+}  // namespace rtdvs
+
+#endif  // SRC_UTIL_PROVENANCE_H_

@@ -1,0 +1,305 @@
+// Unit suite for src/core/benchdiff: document flattening, direction
+// metadata, the noise-threshold judge, and the comparability downgrade —
+// the golden pairs are built in memory (improvement, regression, missing
+// section, cross-host, config mismatch, zero baseline).
+#include "src/core/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace rtdvs {
+namespace {
+
+JsonValue MakeProvenance(const std::string& hostname) {
+  JsonValue p = JsonValue::Object();
+  p.Set("git_sha", "abc123");
+  p.Set("hostname", hostname);
+  p.Set("hardware_concurrency", 8);
+  p.Set("build_type", "RelWithDebInfo");
+  p.Set("sanitize", "none");
+  return p;
+}
+
+// One rtdvs-bench-v1 document with a values section plus any extra section.
+JsonValue MakeDoc(const std::string& bench, const std::string& hostname,
+                  const std::map<std::string, double>& values,
+                  bool quick = true,
+                  std::optional<JsonValue> extra_section = std::nullopt) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "rtdvs-bench-v1");
+  doc.Set("bench", bench);
+  JsonValue config = JsonValue::Object();
+  config.Set("provenance", MakeProvenance(hostname));
+  config.Set("quick", quick);
+  doc.Set("config", std::move(config));
+  JsonValue sections = JsonValue::Array();
+  JsonValue section = JsonValue::Object();
+  section.Set("title", "main");
+  JsonValue vals = JsonValue::Object();
+  for (const auto& [key, value] : values) {
+    vals.Set(key, value);
+  }
+  section.Set("values", std::move(vals));
+  sections.Append(std::move(section));
+  if (extra_section.has_value()) {
+    sections.Append(std::move(*extra_section));
+  }
+  doc.Set("sections", std::move(sections));
+  return doc;
+}
+
+BenchDoc Extract(const JsonValue& doc) {
+  std::string error;
+  auto extracted = ExtractBenchDoc(doc, &error);
+  EXPECT_TRUE(extracted.has_value()) << error;
+  return *extracted;
+}
+
+TEST(ExtractBenchDocTest, RejectsWrongSchema) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "something-else");
+  std::string error;
+  EXPECT_FALSE(ExtractBenchDoc(doc, &error).has_value());
+  EXPECT_NE(error.find("rtdvs-bench-v1"), std::string::npos);
+}
+
+TEST(ExtractBenchDocTest, FlattensValuesAndProvenance) {
+  BenchDoc doc = Extract(MakeDoc("fig09", "host-a", {{"sims_per_sec", 1500.0}}));
+  EXPECT_EQ(doc.bench, "fig09");
+  EXPECT_EQ(doc.provenance.at("hostname"), "host-a");
+  EXPECT_EQ(doc.provenance.at("hardware_concurrency"), "8");
+  ASSERT_EQ(doc.metrics.count("fig09/main/sims_per_sec"), 1u);
+  EXPECT_DOUBLE_EQ(doc.metrics.at("fig09/main/sims_per_sec"), 1500.0);
+}
+
+TEST(ExtractBenchDocTest, FlattensTableRowsByLabelAndHeader) {
+  JsonValue table = JsonValue::Object();
+  JsonValue header = JsonValue::Array();
+  header.Append("jobs");
+  header.Append("sims_per_sec");
+  header.Append("note");
+  table.Set("header", std::move(header));
+  JsonValue rows = JsonValue::Array();
+  JsonValue row = JsonValue::Array();
+  row.Append("4");
+  row.Append("2111.5");
+  row.Append("not-a-number");
+  rows.Append(std::move(row));
+  table.Set("rows", std::move(rows));
+  JsonValue section = JsonValue::Object();
+  section.Set("title", "summary");
+  section.Set("table", std::move(table));
+  JsonValue doc = MakeDoc("scaling", "h", {}, true, std::move(section));
+
+  BenchDoc extracted = Extract(doc);
+  ASSERT_EQ(extracted.metrics.count("scaling/summary/4/sims_per_sec"), 1u);
+  EXPECT_DOUBLE_EQ(extracted.metrics.at("scaling/summary/4/sims_per_sec"),
+                   2111.5);
+  // Non-numeric cells are skipped, not parsed as 0.
+  EXPECT_EQ(extracted.metrics.count("scaling/summary/4/note"), 0u);
+}
+
+TEST(ExtractBenchDocTest, FlattensSweepProfileAndRows) {
+  JsonValue sweep = JsonValue::Object();
+  JsonValue profile = JsonValue::Object();
+  profile.Set("sims_per_sec", 900.0);
+  profile.Set("p95_shard_ms", 12.5);
+  sweep.Set("profile", std::move(profile));
+  sweep.Set("elapsed_wall_ms", 450.0);
+  sweep.Set("audit_violations", 0);
+  JsonValue rows = JsonValue::Array();
+  JsonValue row = JsonValue::Object();
+  row.Set("utilization", 0.5);
+  JsonValue policies = JsonValue::Array();
+  JsonValue cell = JsonValue::Object();
+  cell.Set("id", "cc_edf");
+  cell.Set("normalized", 0.71);
+  cell.Set("deadline_misses", 0);
+  policies.Append(std::move(cell));
+  row.Set("policies", std::move(policies));
+  rows.Append(std::move(row));
+  sweep.Set("rows", std::move(rows));
+  JsonValue section = JsonValue::Object();
+  section.Set("title", "panel");
+  section.Set("sweep", std::move(sweep));
+  JsonValue doc = MakeDoc("fig10", "h", {}, true, std::move(section));
+
+  BenchDoc extracted = Extract(doc);
+  EXPECT_DOUBLE_EQ(extracted.metrics.at("fig10/panel/profile/sims_per_sec"),
+                   900.0);
+  EXPECT_DOUBLE_EQ(extracted.metrics.at("fig10/panel/elapsed_wall_ms"), 450.0);
+  EXPECT_DOUBLE_EQ(extracted.metrics.at("fig10/panel/u=0.5/cc_edf/normalized"),
+                   0.71);
+  EXPECT_DOUBLE_EQ(
+      extracted.metrics.at("fig10/panel/u=0.5/cc_edf/deadline_misses"), 0.0);
+}
+
+TEST(DirectionForMetricTest, ClassifiesBySubstring) {
+  EXPECT_EQ(DirectionForMetric("fig09/profile/sims_per_sec"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("scaling/summary/4/efficiency"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("fig09/elapsed_wall_ms"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("fig09/u=0.5/cc_edf/deadline_misses"),
+            MetricDirection::kLowerIsBetter);
+  // Lower-is-better wins when both substrings match: an energy rate is not
+  // a throughput.
+  EXPECT_EQ(DirectionForMetric("fig09/energy_per_sec"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("table4/seed"), MetricDirection::kInformational);
+}
+
+TEST(DiffBenchDocsTest, SelfDiffIsClean) {
+  std::vector<BenchDoc> docs = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0},
+                                     {"elapsed_wall_ms", 200.0}}))};
+  DiffReport report = DiffBenchDocs(docs, docs, {});
+  EXPECT_EQ(report.regressed, 0);
+  EXPECT_EQ(report.missing, 0);
+  EXPECT_FALSE(report.downgraded);
+  EXPECT_FALSE(report.hard_fail);
+  EXPECT_NE(report.ToMarkdown().find("result: OK"), std::string::npos);
+}
+
+TEST(DiffBenchDocsTest, ImprovementDoesNotFail) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1500.0}}))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_EQ(report.improved, 1);
+  EXPECT_EQ(report.regressed, 0);
+  EXPECT_FALSE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, RegressionHardFails) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 500.0}}))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_EQ(report.regressed, 1);
+  EXPECT_TRUE(report.hard_fail);
+  EXPECT_NE(report.ToMarkdown().find("result: REGRESSED"), std::string::npos);
+  // The JSON report lists the offending metric.
+  const JsonValue json = report.ToJson();
+  EXPECT_EQ(json.Get("summary").Get("regressed").AsInt(), 1);
+  EXPECT_EQ(json.Get("deltas").at(0).Get("verdict").AsString(), "regressed");
+}
+
+TEST(DiffBenchDocsTest, WithinThresholdIsOk) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 950.0}}))};  // -5%
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_EQ(report.regressed, 0);
+  EXPECT_FALSE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, ThresholdOverrideTightensOneMetric) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 950.0}}))};  // -5%
+  DiffOptions options;
+  options.threshold_overrides = {{"sims_per_sec", 0.02}};
+  DiffReport report = DiffBenchDocs(base, cand, options);
+  EXPECT_EQ(report.regressed, 1);
+  EXPECT_TRUE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, MissingMetricIsRegressionLevel) {
+  std::vector<BenchDoc> base = {Extract(
+      MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}, {"extra", 1.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_EQ(report.missing, 1);
+  EXPECT_TRUE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, MissingBenchIsRegressionLevel) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}})),
+      Extract(MakeDoc("fig10", "h", {{"sims_per_sec", 800.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_TRUE(report.hard_fail);
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes[0].find("missing from candidate"), std::string::npos);
+}
+
+TEST(DiffBenchDocsTest, CrossHostRegressionDowngradesToWarning) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "host-a", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "host-b", {{"sims_per_sec", 500.0}}))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_EQ(report.regressed, 1);  // still reported...
+  EXPECT_TRUE(report.downgraded);
+  EXPECT_FALSE(report.hard_fail);  // ...but does not gate CI
+  EXPECT_NE(report.ToMarkdown().find("DOWNGRADED"), std::string::npos);
+}
+
+TEST(DiffBenchDocsTest, IgnoreProvenanceRestoresHardFail) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "host-a", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "host-b", {{"sims_per_sec", 500.0}}))};
+  DiffOptions options;
+  options.ignore_provenance = true;
+  DiffReport report = DiffBenchDocs(base, cand, options);
+  EXPECT_FALSE(report.downgraded);
+  EXPECT_TRUE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, ConfigMismatchDowngrades) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}, true))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 500.0}}, false))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_TRUE(report.downgraded);
+  EXPECT_FALSE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, ZeroBaselineMissesAppearingRegresses) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"deadline_misses", 0.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"deadline_misses", 3.0}}))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_EQ(report.regressed, 1);
+  EXPECT_TRUE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, ZeroToZeroIsOk) {
+  std::vector<BenchDoc> docs = {
+      Extract(MakeDoc("fig09", "h", {{"deadline_misses", 0.0}}))};
+  DiffReport report = DiffBenchDocs(docs, docs, {});
+  EXPECT_EQ(report.regressed, 0);
+  EXPECT_FALSE(report.hard_fail);
+}
+
+TEST(DiffBenchDocsTest, NewMetricIsInformational) {
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {Extract(
+      MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}, {"speedup", 2.0}}))};
+  DiffReport report = DiffBenchDocs(base, cand, {});
+  EXPECT_EQ(report.added, 1);
+  EXPECT_FALSE(report.hard_fail);
+}
+
+}  // namespace
+}  // namespace rtdvs

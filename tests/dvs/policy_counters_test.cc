@@ -12,9 +12,23 @@
 #include "src/rt/exec_time_model.h"
 #include "src/rt/task.h"
 #include "src/sim/simulator.h"
+#include "src/util/json.h"
 
 namespace rtdvs {
 namespace {
+
+TEST(PolicyCounters, ToJsonCarriesEveryField) {
+  PolicyCounters c;
+  c.speed_change_requests = 1;
+  c.migrations = 6;
+  c.admission_rejections = 2;
+  const JsonValue json = PolicyCountersToJson(c);
+  EXPECT_EQ(json.Get("speed_change_requests").AsInt(), 1);
+  EXPECT_EQ(json.Get("migrations").AsInt(), 6);
+  EXPECT_EQ(json.Get("admission_rejections").AsInt(), 2);
+  // One entry per struct field: extend PolicyCountersToJson when adding one.
+  EXPECT_EQ(json.entries().size(), 10u);
+}
 
 TEST(PolicyCounters, MergeAddsFieldwise) {
   PolicyCounters a;
@@ -24,10 +38,13 @@ TEST(PolicyCounters, MergeAddsFieldwise) {
   a.slack_reclaimed_ms = 0.5;
   a.utilization_samples = 4;
   a.utilization_sum = 2.0;
+  a.migrations = 2;
   PolicyCounters b;
   b.speed_change_requests = 10;
   b.deferral_decisions = 7;
   b.work_deferred_ms = 1.25;
+  b.migrations = 5;
+  b.admission_rejections = 3;
   a.MergeFrom(b);
   EXPECT_EQ(a.speed_change_requests, 13);
   EXPECT_EQ(a.speed_transitions, 2);
@@ -37,6 +54,8 @@ TEST(PolicyCounters, MergeAddsFieldwise) {
   EXPECT_DOUBLE_EQ(a.work_deferred_ms, 1.25);
   EXPECT_EQ(a.utilization_samples, 4);
   EXPECT_DOUBLE_EQ(a.utilization_sum, 2.0);
+  EXPECT_EQ(a.migrations, 7);
+  EXPECT_EQ(a.admission_rejections, 3);
 }
 
 TEST(PolicyCounters, DiffSinceInvertsMerge) {
@@ -48,6 +67,8 @@ TEST(PolicyCounters, DiffSinceInvertsMerge) {
   delta.speed_change_requests = 2;
   delta.slack_reclaimed_ms = 0.25;
   delta.deferral_decisions = 1;
+  delta.migrations = 4;
+  delta.admission_rejections = 2;
   total.MergeFrom(delta);
   EXPECT_EQ(total.DiffSince(base), delta);
   EXPECT_EQ(total.DiffSince(PolicyCounters{}), total);

@@ -2,13 +2,19 @@
 # CI driver: plain build + full test suite, then the same suite under
 # ASan/UBSan, then the concurrency tests (thread pool, parallel sweep
 # harness, bench smokes) under TSan, then every bench in --quick mode with
-# --json output validated against the rtdvs-bench-v1 schema, then a bounded
-# deterministic differential-fuzz campaign (production simulator vs the
-# reference oracle; failing repro strings land in build-ci-plain/fuzz/).
+# --json output validated against the rtdvs-bench-v1 schema, then the
+# rtdvs-benchdiff perf-regression gate against bench/baselines, then a
+# bounded deterministic differential-fuzz campaign (production simulator vs
+# the reference oracle; failing repro strings land in build-ci-plain/fuzz/).
 #
 #   tools/ci.sh              # all stages
 #   tools/ci.sh plain        # one: plain | asan-ubsan | tsan | bench-json |
-#                            #      tidy | fuzz
+#                            #      benchdiff | tidy | fuzz
+#   tools/ci.sh refresh-baselines   # regenerate bench/baselines/
+#
+# RTDVS_NIGHTLY=1 switches the benchdiff stage to full (non-quick) bench
+# runs; those diff against the quick baselines as warnings-only (config
+# mismatch), producing the nightly trend report artifact.
 #
 # Each stage builds into its own tree (build-ci-<stage>) so sanitizer flags
 # never leak between configurations. ctest labels: tier1 = fast unit suites,
@@ -76,6 +82,67 @@ stage_bench_json() {
   build-ci-plain/tools/rtdvs-json-check "$out"/BENCH_*.json
 }
 
+# The regression gate's bench set. ONE list for both the gate and the
+# baseline refresh: the configs must match exactly or rtdvs-benchdiff's
+# comparability guard downgrades the whole diff to warnings.
+# mode: quick (the CI gate and committed baselines) | full (nightly).
+run_gate_benches() {
+  local builddir="$1" outdir="$2" mode="${3:-quick}"
+  mkdir -p "$outdir"
+  local q=() sq=()
+  if [[ "$mode" == quick ]]; then
+    q=(--quick)
+    # --max-jobs 2 keeps the jobs grid {1,2} on every host, so the metric
+    # keys are host-independent.
+    sq=(--quick --max-jobs 2)
+  fi
+  "$builddir"/bench/bench_fig09_num_tasks "${q[@]}" \
+    --json="$outdir/BENCH_fig09_num_tasks.json" >/dev/null
+  "$builddir"/bench/bench_fig10_idle_level "${q[@]}" \
+    --json="$outdir/BENCH_fig10_idle_level.json" >/dev/null
+  "$builddir"/bench/bench_fig12_const_fraction "${q[@]}" \
+    --json="$outdir/BENCH_fig12_const_fraction.json" >/dev/null
+  "$builddir"/bench/bench_mp_scaling "${q[@]}" \
+    --json="$outdir/BENCH_mp_scaling.json" >/dev/null
+  "$builddir"/bench/bench_scaling_efficiency "${sq[@]}" \
+    --json="$outdir/BENCH_scaling_efficiency.json" >/dev/null
+}
+
+stage_benchdiff() {
+  echo "=== stage: bench regression gate (rtdvs-benchdiff) ==="
+  configure_and_build build-ci-plain
+  local out="build-ci-plain/benchdiff"
+  local mode=quick
+  if [[ "${RTDVS_NIGHTLY:-0}" == 1 ]]; then
+    mode=full  # config mismatch vs the quick baselines -> warnings-only diff
+  fi
+  run_gate_benches build-ci-plain "$out/fresh" "$mode"
+  # Deterministic metrics (normalized energy, misses, violations) keep the
+  # tight default threshold; wall-clock metrics get wide overrides so a
+  # loaded runner does not fail the gate on noise. Cross-host runs (any
+  # provenance mismatch vs the committed baselines) downgrade to warnings.
+  build-ci-plain/tools/rtdvs-benchdiff bench/baselines "$out/fresh" \
+    --overrides=sims_per_sec=0.5,shards_per_sec=0.5,speedup=0.5,efficiency=0.5,_ms=0.6,elapsed=0.6 \
+    --md-out="$out/report.md" --json-out="$out/report.json"
+  # Self-check (cf. rtdvs-fuzz --inject-bug): the same inputs with a
+  # synthetic 2x throughput regression injected MUST fail — proving the
+  # gate's exit code actually fires.
+  if build-ci-plain/tools/rtdvs-benchdiff "$out/fresh" "$out/fresh" \
+      --inject-regression=sims_per_sec=0.5 --quiet >/dev/null; then
+    echo "benchdiff self-check FAILED: injected regression not detected" >&2
+    exit 1
+  fi
+  echo "benchdiff self-check passed: injected regression detected"
+}
+
+stage_refresh_baselines() {
+  echo "=== stage: regenerate bench/baselines (review + commit the result) ==="
+  configure_and_build build-ci-plain
+  run_gate_benches build-ci-plain bench/baselines quick
+  build-ci-plain/tools/rtdvs-json-check bench/baselines/BENCH_*.json
+  echo "baselines refreshed; diff and commit bench/baselines/"
+}
+
 stage_tidy() {
   echo "=== stage: clang-tidy over src/engine src/sim src/kernel ==="
   if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -120,6 +187,8 @@ case "$STAGE" in
   asan-ubsan) stage_asan_ubsan ;;
   tsan) stage_tsan ;;
   bench-json) stage_bench_json ;;
+  benchdiff) stage_benchdiff ;;
+  refresh-baselines) stage_refresh_baselines ;;
   tidy) stage_tidy ;;
   fuzz) stage_fuzz ;;
   all)
@@ -127,11 +196,13 @@ case "$STAGE" in
     stage_asan_ubsan
     stage_tsan
     stage_bench_json
+    stage_benchdiff
     stage_tidy
     stage_fuzz
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|bench-json|tidy|fuzz|all]" >&2
+    echo "usage: tools/ci.sh [plain|asan-ubsan|tsan|bench-json|benchdiff|tidy|fuzz|all]" >&2
+    echo "       tools/ci.sh refresh-baselines   # regenerate bench/baselines" >&2
     exit 1
     ;;
 esac

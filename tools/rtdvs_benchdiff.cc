@@ -1,0 +1,218 @@
+// rtdvs-benchdiff: the cross-run perf-regression gate over rtdvs-bench-v1
+// documents.
+//
+//   ./rtdvs-benchdiff bench/baselines build-ci-plain/bench-json
+//   ./rtdvs-benchdiff BENCH_fig09.json BENCH_fig09.json --threshold=0.05
+//   ./rtdvs-benchdiff a/ b/ --overrides=sims_per_sec=0.25,deadline_misses=0
+//   ./rtdvs-benchdiff a.json a.json --inject-regression=sims_per_sec=0.5
+//
+// Each argument is one rtdvs-bench-v1 file or a directory of BENCH_*.json.
+// Benches match by name, metrics by flattened key; deltas beyond the noise
+// threshold fail the run — unless the two runs' provenance (host, cores,
+// build type, sanitizers) or configs differ, in which case regressions
+// downgrade to warnings (cross-host timing is not comparable evidence).
+//
+// --inject-regression=substr=factor multiplies every matching candidate
+// metric in memory before diffing: the CI self-check proving the gate can
+// actually fail (same spirit as rtdvs-fuzz --inject-bug).
+//
+// Exit codes: 0 ok (or downgraded-to-warnings), 1 usage/IO error,
+// 5 regression detected.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/benchdiff.h"
+#include "src/util/flags.h"
+#include "src/util/json.h"
+#include "src/util/strings.h"
+
+namespace rtdvs {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// A path names either one document or a directory of BENCH_*.json.
+bool LoadDocs(const std::string& path, std::vector<BenchDoc>* docs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (files.empty()) {
+      std::fprintf(stderr, "error: no BENCH_*.json files under %s\n",
+                   path.c_str());
+      return false;
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+  for (const std::string& file : files) {
+    std::string text;
+    if (!ReadFile(file, &text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", file.c_str());
+      return false;
+    }
+    std::string error;
+    auto parsed = JsonValue::Parse(text, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(), error.c_str());
+      return false;
+    }
+    auto doc = ExtractBenchDoc(*parsed, &error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(), error.c_str());
+      return false;
+    }
+    docs->push_back(std::move(*doc));
+  }
+  return true;
+}
+
+// "substr=value,substr=value" pairs; used by --overrides and (with factor
+// semantics) --inject-regression.
+bool ParsePairs(const std::string& spec,
+                std::vector<std::pair<std::string, double>>* out) {
+  if (spec.empty()) {
+    return true;
+  }
+  for (const std::string& item : Split(spec, ',')) {
+    const size_t eq = item.rfind('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "error: malformed pair '%s' (want substr=value)\n",
+                   item.c_str());
+      return false;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "error: bad number in pair '%s'\n", item.c_str());
+      return false;
+    }
+    out->emplace_back(item.substr(0, eq), value);
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::string overrides_spec;
+  std::string inject_spec;
+  std::string md_out;
+  std::string json_out;
+  bool ignore_provenance = false;
+  bool quiet = false;
+
+  FlagSet flags(
+      "Compare two rtdvs-bench-v1 files (or directories of BENCH_*.json); "
+      "exit 5 when the candidate regressed versus the baseline.\n"
+      "usage: rtdvs-benchdiff <baseline> <candidate> [flags]");
+  flags.AddDouble("threshold", &threshold,
+                  "relative change tolerated before a directional metric "
+                  "counts as improved/regressed");
+  flags.AddString("overrides", &overrides_spec,
+                  "per-metric thresholds, substr=value[,substr=value...]; "
+                  "first matching substring wins");
+  flags.AddString("inject-regression", &inject_spec,
+                  "self-check: multiply matching candidate metrics by the "
+                  "given factor before diffing (substr=factor[,...])");
+  flags.AddString("md-out", &md_out, "write the markdown report here");
+  flags.AddString("json-out", &json_out, "write the JSON report here");
+  flags.AddBool("ignore-provenance", &ignore_provenance,
+                "hard-fail even across differing hosts/configs");
+  flags.AddBool("quiet", &quiet, "suppress the stdout report");
+  flags.AllowPositional();
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "error: expected exactly 2 positional arguments "
+                 "(baseline, candidate), got %zu\n",
+                 flags.positional().size());
+    return 1;
+  }
+
+  DiffOptions options;
+  options.threshold = threshold;
+  options.ignore_provenance = ignore_provenance;
+  std::vector<std::pair<std::string, double>> injections;
+  if (!ParsePairs(overrides_spec, &options.threshold_overrides) ||
+      !ParsePairs(inject_spec, &injections)) {
+    return 1;
+  }
+
+  std::vector<BenchDoc> baseline;
+  std::vector<BenchDoc> candidate;
+  if (!LoadDocs(flags.positional()[0], &baseline) ||
+      !LoadDocs(flags.positional()[1], &candidate)) {
+    return 1;
+  }
+
+  int64_t injected = 0;
+  for (const auto& [substr, factor] : injections) {
+    for (BenchDoc& doc : candidate) {
+      for (auto& [key, value] : doc.metrics) {
+        if (key.find(substr) != std::string::npos) {
+          value *= factor;
+          ++injected;
+        }
+      }
+    }
+  }
+  if (!inject_spec.empty()) {
+    std::fprintf(stderr, "inject-regression: perturbed %lld metrics\n",
+                 static_cast<long long>(injected));
+    if (injected == 0) {
+      std::fprintf(stderr,
+                   "error: --inject-regression matched nothing — the "
+                   "self-check would pass vacuously\n");
+      return 1;
+    }
+  }
+
+  DiffReport report = DiffBenchDocs(baseline, candidate, options);
+
+  if (!quiet) {
+    std::fputs(report.ToMarkdown().c_str(), stdout);
+  }
+  if (!md_out.empty()) {
+    std::ofstream out(md_out, std::ios::binary);
+    out << report.ToMarkdown();
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", md_out.c_str());
+      return 1;
+    }
+  }
+  if (!json_out.empty() && !WriteJsonFile(report.ToJson(), json_out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
+    return 1;
+  }
+  return report.hard_fail ? 5 : 0;
+}
+
+}  // namespace
+}  // namespace rtdvs
+
+int main(int argc, char** argv) { return rtdvs::Main(argc, argv); }

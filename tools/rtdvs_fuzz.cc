@@ -60,6 +60,7 @@ int Main(int argc, char** argv) {
   bool shrink = true;
   bool properties = true;
   bool verbose = false;
+  bool progress = false;
 
   FlagSet flags(
       "Differential fuzzer: production simulator vs reference oracle.\n"
@@ -90,6 +91,8 @@ int Main(int argc, char** argv) {
                 "also check metamorphic properties (lower bound, noDVS vs "
                 "static, task reorder, grid refinement)");
   flags.AddBool("verbose", &verbose, "log every trial");
+  flags.AddBool("progress", &progress,
+                "live progress line on stderr (trials/sec, divergences, ETA)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -164,6 +167,7 @@ int Main(int argc, char** argv) {
   std::mutex mu;
   std::vector<Failure> failures;
   std::atomic<int64_t> completed{0};
+  double last_progress_ms = 0;  // guarded by mu; throttles to ~5 lines/sec
   std::vector<std::future<void>> pending;
   int64_t dispatched = 0;
   for (int64_t trial = 0; trial < trials; ++trial) {
@@ -185,10 +189,31 @@ int Main(int argc, char** argv) {
       if (!outcome.ok) {
         failures.push_back({trial, c, c, outcome.Describe()});
       }
+      if (progress) {
+        const int64_t done = completed.load(std::memory_order_relaxed);
+        const double elapsed = ElapsedMs(start);
+        if (elapsed - last_progress_ms > 200.0 || done == trials) {
+          last_progress_ms = elapsed;
+          const double per_sec = elapsed > 0 ? done * 1000.0 / elapsed : 0.0;
+          const double eta_s =
+              per_sec > 0 ? static_cast<double>(trials - done) / per_sec : 0.0;
+          std::fprintf(stderr,
+                       "\rfuzz: %lld/%lld trials (%.0f%%)  %.0f trials/s  "
+                       "%zu divergence(s)  eta %.1fs ",
+                       static_cast<long long>(done),
+                       static_cast<long long>(trials),
+                       100.0 * static_cast<double>(done) /
+                           static_cast<double>(trials),
+                       per_sec, failures.size(), eta_s);
+        }
+      }
     }));
   }
   for (auto& f : pending) {
     f.get();
+  }
+  if (progress && dispatched > 0) {
+    std::fprintf(stderr, "\n");
   }
 
   // Shrink serially: failures are rare and shrinking reruns many simulations.

@@ -25,6 +25,7 @@
 #include "src/sim/trace_export.h"
 #include "src/util/flags.h"
 #include "src/util/json.h"
+#include "src/util/profiler.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
 
@@ -149,6 +150,7 @@ int Main(int argc, char** argv) {
   double switch_time_ms = 0.0;
   bool abort_on_miss = false;
   bool audit = true;
+  bool profile = false;
   int64_t seed = 1;
   std::string trace_out;
   int64_t cores = 0;
@@ -171,6 +173,9 @@ int Main(int argc, char** argv) {
   flags.AddBool("audit", &audit,
                 "run SimAudit on each result (--no-audit disables); audit "
                 "violations make the exit code 3");
+  flags.AddBool("profile", &profile,
+                "record per-span engine timing; prints a span table and adds "
+                "a 'profile' section to --json output");
   flags.AddInt64("seed", &seed, "workload random seed");
   flags.AddString("trace-out", &trace_out,
                   "write the execution trace as Chrome trace-event JSON "
@@ -240,6 +245,7 @@ int Main(int argc, char** argv) {
       abort_on_miss ? MissPolicy::kAbortJob : MissPolicy::kContinueLate;
   options.record_trace = gantt_ms > 0 || !trace_out.empty();
   options.audit = audit;
+  options.profile = profile;
   options.seed = static_cast<uint64_t>(seed);
 
   SimRequest base = scenario.ToSimRequest(options);
@@ -310,6 +316,10 @@ int Main(int argc, char** argv) {
     request.policy_ids = run.policy_ids;
     auto model = scenario.MakeExecModel();
     MpSimResult result = RunClusterSimulation(request, *model);
+    ProfileSnapshot prof;
+    if (profile) {
+      prof = Profiler::Drain();  // per-run: the profiler is process-global
+    }
 
     if (!result.admitted) {
       std::printf("%s: infeasible partition (%s): %s\n", run.label.c_str(),
@@ -341,6 +351,16 @@ int Main(int argc, char** argv) {
         truncated |= slice.trace.truncated();
       }
     }
+    if (profile) {
+      std::printf("  profile (%zu spans):\n", prof.spans.size());
+      for (const auto& [name, stats] : prof.spans) {
+        std::printf(
+            "    %-32s %9lld calls  total %9.3f ms  self %9.3f ms  "
+            "p95 %.6f ms\n",
+            name.c_str(), static_cast<long long>(stats.count), stats.total_ms,
+            stats.self_ms(), stats.hist.ValueAtPercentile(95.0));
+      }
+    }
     if (options.record_trace && truncated) {
       std::fprintf(stderr,
                    "warning: trace for %s truncated; the Gantt/export covers "
@@ -369,7 +389,11 @@ int Main(int argc, char** argv) {
       const std::string path = runs.size() > 1
                                    ? InsertPolicyIntoPath(json_out, run.label)
                                    : json_out;
-      if (WriteJsonFile(MpSimResultToJson(result), path)) {
+      JsonValue doc = MpSimResultToJson(result);
+      if (profile) {
+        doc.Set("profile", prof.ToJson());
+      }
+      if (WriteJsonFile(doc, path)) {
         std::printf("  json written to %s\n", path.c_str());
       } else {
         std::fprintf(stderr, "error: cannot write JSON to %s\n", path.c_str());

@@ -71,6 +71,7 @@ int Main(int argc, char** argv) {
   bool misses = false;
   bool audit = true;
   bool progress = false;
+  bool profile = false;
   std::string json_path;
   int64_t cores = 1;
   std::string mp_mode = "partitioned";
@@ -101,6 +102,9 @@ int Main(int argc, char** argv) {
                 "violations make the exit code 3");
   flags.AddBool("progress", &progress,
                 "live progress line on stderr (shards done, elapsed, ETA)");
+  flags.AddBool("profile", &profile,
+                "record per-span engine timing into the profile section "
+                "(printed per span; included in --json output)");
   flags.AddString("json", &json_path,
                   "write the full SweepResult (rows, policy counters, "
                   "profile) as JSON to this path");
@@ -177,6 +181,7 @@ int Main(int argc, char** argv) {
   if (progress) {
     options.progress = MakeStderrProgress();
   }
+  options.profile = profile;
 
   UtilizationSweep sweep(options);
   SweepResult result = sweep.Run();
@@ -234,6 +239,13 @@ int Main(int argc, char** argv) {
       static_cast<long long>(result.profile.simulations),
       result.profile.p50_shard_ms, result.profile.p95_shard_ms,
       result.profile.sims_per_sec);
+  for (const auto& [name, stats] : result.profile.spans.spans) {
+    std::cout << StrFormat(
+        "  span %-32s %9lld calls  total %9.3f ms  self %9.3f ms  "
+        "p95 %.6f ms\n",
+        name.c_str(), static_cast<long long>(stats.count), stats.total_ms,
+        stats.self_ms(), stats.hist.ValueAtPercentile(95.0));
+  }
   if (!json_path.empty()) {
     if (!WriteJsonFile(SweepResultToJson(result), json_path)) {
       std::fprintf(stderr, "error: cannot write JSON to %s\n", json_path.c_str());
