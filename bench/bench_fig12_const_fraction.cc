@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       return std::make_unique<rtdvs::ConstantFractionModel>(fraction);
     };
     rtdvs::ApplySweepFlags(flags, &config.options);
-    rtdvs::RunAndPrintSweep(config, &json);
+    rtdvs::RunAndPrintSweep(config, &json, static_cast<int>(flags.repeat));
   }
   return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

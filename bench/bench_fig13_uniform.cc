@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     return std::make_unique<rtdvs::UniformFractionModel>(0.0, 1.0);
   };
   rtdvs::ApplySweepFlags(flags, &config.options);
-  rtdvs::RunAndPrintSweep(config, &json);
+  rtdvs::RunAndPrintSweep(config, &json, static_cast<int>(flags.repeat));
 
   // Side-by-side comparison the paper draws in the text: constant 0.5.
   rtdvs::SweepBenchConfig constant;
@@ -34,6 +34,6 @@ int main(int argc, char** argv) {
     return std::make_unique<rtdvs::ConstantFractionModel>(0.5);
   };
   rtdvs::ApplySweepFlags(flags, &constant.options);
-  rtdvs::RunAndPrintSweep(constant, &json);
+  rtdvs::RunAndPrintSweep(constant, &json, static_cast<int>(flags.repeat));
   return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

@@ -31,6 +31,6 @@ int main(int argc, char** argv) {
   };
   config.options.seed = 0xf17;
   rtdvs::ApplySweepFlags(flags, &config.options);
-  rtdvs::RunAndPrintSweep(config, &json);
+  rtdvs::RunAndPrintSweep(config, &json, static_cast<int>(flags.repeat));
   return json.WriteIfRequested(flags.json_path) ? 0 : 1;
 }

@@ -37,8 +37,15 @@ int main(int argc, char** argv) {
     const std::string title =
         rtdvs::StrFormat("MP scaling: %d core%s (partitioned ff)", cores,
                          cores == 1 ? "" : "s");
-    rtdvs::UtilizationSweep sweep(options);
-    rtdvs::SweepResult result = sweep.Run();
+    rtdvs::SweepResult result;
+    for (int64_t attempt = 0; attempt < flags.repeat; ++attempt) {
+      rtdvs::UtilizationSweep sweep(options);
+      rtdvs::SweepResult this_run = sweep.Run();
+      if (attempt == 0 ||
+          this_run.profile.sims_per_sec > result.profile.sims_per_sec) {
+        result = std::move(this_run);
+      }
+    }
     std::cout << "== " << title << " ==\n";
     std::cout << "machine: " << options.machine.ToString() << "\n";
     std::cout << "energy normalized to "

@@ -68,6 +68,7 @@ int Main(int argc, char** argv) {
   int64_t tasksets = 50;
   int64_t sim_ms = 5000;
   int64_t max_jobs = 0;
+  int64_t repeat = 1;
   bool quick = false;
   bool progress = false;
   bool profile = false;
@@ -80,6 +81,9 @@ int Main(int argc, char** argv) {
   flags.AddInt64("sim-ms", &sim_ms, "simulated horizon per run (ms)");
   flags.AddInt64("max-jobs", &max_jobs,
                  "highest worker count to measure (0 = hardware concurrency)");
+  flags.AddInt64("repeat", &repeat,
+                 "timing repeats per jobs value (best-of sims/sec reported; "
+                 "the sweep data is identical every time)");
   flags.AddBool("quick", &quick, "coarse smoke-test configuration");
   flags.AddBool("progress", &progress,
                 "live progress line on stderr (shards done, elapsed, ETA)");
@@ -93,6 +97,10 @@ int Main(int argc, char** argv) {
   }
   if (max_jobs < 0) {
     std::fprintf(stderr, "error: --max-jobs must be >= 0\n");
+    return 1;
+  }
+  if (repeat < 1) {
+    std::fprintf(stderr, "error: --repeat must be >= 1\n");
     return 1;
   }
 
@@ -111,6 +119,7 @@ int Main(int argc, char** argv) {
   json.Config("tasksets", tasksets);
   json.Config("sim_ms", sim_ms);
   json.Config("max_jobs", max_jobs);
+  json.Config("repeat", repeat);
   json.Config("quick", quick);
   json.Config("profile", profile);
 
@@ -128,8 +137,16 @@ int Main(int argc, char** argv) {
     if (progress) {
       options.progress = MakeStderrProgress();
     }
-    UtilizationSweep sweep(options);
-    results.push_back(sweep.Run());
+    SweepResult best;
+    for (int64_t attempt = 0; attempt < repeat; ++attempt) {
+      UtilizationSweep sweep(options);
+      SweepResult this_run = sweep.Run();
+      if (attempt == 0 ||
+          this_run.profile.sims_per_sec > best.profile.sims_per_sec) {
+        best = std::move(this_run);
+      }
+    }
+    results.push_back(std::move(best));
     const SweepResult& result = results.back();
     std::cout << StrFormat(
         "jobs=%d: %.0f sims/s, wall %.0f ms, shard p95 %.2f ms, "

@@ -96,7 +96,7 @@ int Main(int argc, char** argv) {
     config.options.switch_time_ms = switch_ms;
     config.options.utilizations = {0.2, 0.4, 0.6, 0.8};
     ApplySweepFlags(flags, &config.options);
-    audit_violations += RunAndPrintSweep(config, &json);
+    audit_violations += RunAndPrintSweep(config, &json, static_cast<int>(flags.repeat));
   }
   if (!json.WriteIfRequested(flags.json_path)) {
     return 1;

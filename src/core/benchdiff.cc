@@ -115,9 +115,34 @@ std::string ConfigFingerprint(const JsonValue& config) {
   return stripped.ToString();
 }
 
+// '*'-joined substring pattern: every part must appear in the key, in
+// order (see DiffOptions::threshold_overrides).
+bool PatternMatches(const std::string& pattern, const std::string& key) {
+  size_t pos = 0;
+  size_t part_start = 0;
+  while (part_start <= pattern.size()) {
+    const size_t star = pattern.find('*', part_start);
+    const std::string part = pattern.substr(
+        part_start, star == std::string::npos ? std::string::npos
+                                              : star - part_start);
+    if (!part.empty()) {
+      pos = key.find(part, pos);
+      if (pos == std::string::npos) {
+        return false;
+      }
+      pos += part.size();
+    }
+    if (star == std::string::npos) {
+      break;
+    }
+    part_start = star + 1;
+  }
+  return true;
+}
+
 double ThresholdFor(const std::string& key, const DiffOptions& options) {
-  for (const auto& [substr, threshold] : options.threshold_overrides) {
-    if (key.find(substr) != std::string::npos) {
+  for (const auto& [pattern, threshold] : options.threshold_overrides) {
+    if (PatternMatches(pattern, key)) {
       return threshold;
     }
   }

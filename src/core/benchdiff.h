@@ -85,7 +85,11 @@ struct DiffOptions {
   // Relative change a directional metric may move before it counts as an
   // improvement/regression.
   double threshold = 0.10;
-  // Per-metric overrides: first entry whose substring matches the key wins.
+  // Per-metric overrides: first entry whose pattern matches the key wins.
+  // A pattern is one or more substrings joined by '*', all of which must
+  // appear in the key in order — "fig09*sims_per_sec" matches the
+  // throughput metrics of the fig09 bench only, while a plain
+  // "sims_per_sec" matches every bench's.
   std::vector<std::pair<std::string, double>> threshold_overrides;
   // Compare timing metrics across differing hosts/configs as if they were
   // comparable (no downgrade). For local experiments only.

@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "src/dvs/policy.h"
+#include "src/rt/job_pool.h"
 #include "src/sim/mp_simulator.h"
 #include "src/util/check.h"
 #include "src/util/json.h"
@@ -45,6 +46,8 @@ struct ShardOutcome {
   };
   std::vector<PerPolicy> policies;  // parallel to options.policy_ids
   std::vector<std::string> audit_messages;  // capped per shard
+  // Fast-path coverage over every run in the shard (baseline included).
+  FastPathStats fastpath;
 };
 
 // Multiprocessor variant of RunShard: the same draw structure (task set,
@@ -77,6 +80,9 @@ ShardOutcome RunMpShard(const SweepOptions& options, double utilization,
   request.options.energy_coefficient = options.energy_coefficient;
   request.options.audit = options.audit;
   request.options.seed = workload_seed;
+  // Recycle job storage across this worker thread's runs (results are
+  // identical; see src/rt/job_pool.h).
+  request.options.job_pool = &ThreadLocalJobPool();
 
   ShardOutcome outcome;
   outcome.policies.resize(options.policy_ids.size());
@@ -133,6 +139,7 @@ ShardOutcome RunMpShard(const SweepOptions& options, double utilization,
     per.energy = result->cluster.total_energy();
     per.deadline_misses = result->cluster.deadline_misses;
     per.counters = result->cluster.policy_counters;
+    outcome.fastpath.MergeFrom(result->cluster.fastpath);
     record_audit(*result, options.policy_ids[p].c_str(),
                  &per.audit_violations);
   }
@@ -142,6 +149,7 @@ ShardOutcome RunMpShard(const SweepOptions& options, double utilization,
   }
   if (!edf_in_list && edf_result.admitted) {
     record_audit(edf_result, "edf", &outcome.baseline_audit_violations);
+    outcome.fastpath.MergeFrom(edf_result.cluster.fastpath);
   }
   return outcome;
 }
@@ -175,6 +183,9 @@ ShardOutcome RunShard(const SweepOptions& options, double utilization,
   sim_options.energy_coefficient = options.energy_coefficient;
   sim_options.audit = options.audit;
   sim_options.seed = workload_seed;
+  // Recycle job storage across this worker thread's runs (results are
+  // identical; see src/rt/job_pool.h).
+  sim_options.job_pool = &ThreadLocalJobPool();
 
   ShardOutcome outcome;
   outcome.policies.resize(options.policy_ids.size());
@@ -213,6 +224,7 @@ ShardOutcome RunShard(const SweepOptions& options, double utilization,
     outcome.policies[p].energy = result.total_energy();
     outcome.policies[p].deadline_misses = result.deadline_misses;
     outcome.policies[p].counters = result.policy_counters;
+    outcome.fastpath.MergeFrom(result.fastpath);
     record_audit(result, &outcome.policies[p].audit_violations);
   }
   // The baseline's own violations, unless they were already counted via an
@@ -223,6 +235,7 @@ ShardOutcome RunShard(const SweepOptions& options, double utilization,
   }
   if (!edf_in_list) {
     record_audit(edf_result, &outcome.baseline_audit_violations);
+    outcome.fastpath.MergeFrom(edf_result.fastpath);
   }
   return outcome;
 }
@@ -412,6 +425,7 @@ SweepResult UtilizationSweep::RunShards(int jobs) const {
         }
       }
       result.audit_violations += outcome.baseline_audit_violations;
+      result.profile.fastpath.MergeFrom(outcome.fastpath);
       constexpr size_t kMaxMessages = 10;
       for (const auto& message : outcome.audit_messages) {
         if (result.audit_messages.size() >= kMaxMessages) {
@@ -596,6 +610,7 @@ JsonValue SweepResultToJson(const SweepResult& result) {
     totals.Set(options.policy_ids[p],
                PolicyCountersToJson(result.profile.policy_counters[p]));
   }
+  profile.Set("fastpath", FastPathStatsToJson(result.profile.fastpath));
   if (!result.profile.spans.empty()) {
     profile.Set("spans", result.profile.spans.ToJson());
   }

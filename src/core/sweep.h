@@ -142,6 +142,10 @@ struct SweepProfile {
   double sims_per_sec = 0;
   // Grid-wide totals per policy, parallel to options.policy_ids.
   std::vector<PolicyCounters> policy_counters;
+  // Grid-wide fast-path coverage (FastPathStats::MergeFrom over every
+  // simulation, EDF baselines included) — benchdiff tracks coverage, not
+  // just wall-clock.
+  FastPathStats fastpath;
   // RTDVS_PROF_SCOPE span aggregation, drained after the pool joined.
   // Empty unless SweepOptions::profile; span counts are deterministic,
   // durations are wall-clock diagnostics.

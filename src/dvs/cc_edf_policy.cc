@@ -37,8 +37,7 @@ void CcEdfPolicy::OnTaskCompletion(int task_id, const PolicyContext& ctx,
   double used = std::min(ctx.view(task_id).last_actual_work, task.wcet_ms);
   const double slack = task.wcet_ms - used;
   if (slack > 0) {
-    counters_.slack_completions += 1;
-    counters_.slack_reclaimed_ms += slack;
+    RecordSlackReclaimed(slack);
   }
   utilization_[static_cast<size_t>(task_id)] = used / task.period_ms;
   SelectFrequency(ctx, speed);

@@ -35,6 +35,8 @@ class IntervalPolicy : public DvsPolicy {
   SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
   // Knows nothing about deadlines — misses are expected, not audit failures.
   bool guarantees_deadlines() const override { return false; }
+  // Self-scheduled periodic wakeups are the whole algorithm.
+  bool timer_driven() const override { return true; }
 
   void OnStart(const PolicyContext& ctx, SpeedController& speed) override;
   std::optional<double> NextWakeupMs(const PolicyContext& ctx) override;

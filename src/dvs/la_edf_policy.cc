@@ -19,6 +19,15 @@ void LaEdfPolicy::OnStart(const PolicyContext& ctx, SpeedController& speed) {
   Defer(ctx, speed);
 }
 
+void LaEdfPolicy::OnTimeSkip(const PolicyContext& ctx) {
+  // See CcRmPolicy::OnTimeSkip: c_left_ holds its window-invariant boundary
+  // value, but the cumulative-executed baseline is absolute and must catch
+  // up to the resume boundary.
+  for (size_t i = 0; i < executed_snapshot_.size(); ++i) {
+    executed_snapshot_[i] = ctx.views[i].cumulative_executed;
+  }
+}
+
 void LaEdfPolicy::Sync(const PolicyContext& ctx) {
   for (size_t i = 0; i < c_left_.size(); ++i) {
     double delta = ctx.views[i].cumulative_executed - executed_snapshot_[i];
@@ -47,15 +56,15 @@ void LaEdfPolicy::Defer(const PolicyContext& ctx, SpeedController& speed) {
   const double d_next = ctx.EarliestDeadline();
 
   // Tasks in reverse-EDF order: latest deadline first.
-  std::vector<int> order(static_cast<size_t>(ctx.tasks->size()));
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&ctx](int a, int b) {
+  order_.resize(static_cast<size_t>(ctx.tasks->size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [&ctx](int a, int b) {
     return ctx.view(a).next_deadline_ms > ctx.view(b).next_deadline_ms;
   });
 
   double utilization = ctx.tasks->TotalUtilization();
   double must_run_now = 0;  // s: work that has to execute before d_next
-  for (int id : order) {
+  for (int id : order_) {
     auto i = static_cast<size_t>(id);
     utilization -= ctx.tasks->task(id).utilization();
     double slack_window = ctx.view(id).next_deadline_ms - d_next;
@@ -78,8 +87,7 @@ void LaEdfPolicy::Defer(const PolicyContext& ctx, SpeedController& speed) {
   // pass; total remaining work minus s is the deferred amount.
   const double total_left =
       std::accumulate(c_left_.begin(), c_left_.end(), 0.0);
-  counters_.deferral_decisions += 1;
-  counters_.work_deferred_ms += std::max(0.0, total_left - must_run_now);
+  RecordDeferral(std::max(0.0, total_left - must_run_now));
 
   const double interval = d_next - ctx.now_ms;
   OperatingPoint point;

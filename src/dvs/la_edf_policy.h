@@ -33,6 +33,11 @@ class LaEdfPolicy : public DvsPolicy {
   std::string name() const override { return "laEDF"; }
   SchedulerKind scheduler_kind() const override { return SchedulerKind::kEdf; }
   bool lowers_speed_when_idle() const override { return true; }
+  // c_left_ is rebuilt by the boundary release callbacks (c_left_i = C_i);
+  // only the cumulative-executed baseline is an absolute snapshot, which
+  // OnTimeSkip resynchronizes.
+  bool supports_time_skip() const override { return true; }
+  void OnTimeSkip(const PolicyContext& ctx) override;
 
   void OnStart(const PolicyContext& ctx, SpeedController& speed) override;
   void OnTaskRelease(int task_id, const PolicyContext& ctx,
@@ -46,6 +51,9 @@ class LaEdfPolicy : public DvsPolicy {
 
   std::vector<double> c_left_;
   std::vector<double> executed_snapshot_;
+  // Defer()'s reverse-EDF ordering scratch; member so the per-callback
+  // defer pass (2+ per scheduling point) allocates nothing.
+  std::vector<int> order_;
 };
 
 }  // namespace rtdvs

@@ -72,6 +72,32 @@ struct PolicyCounters {
   friend bool operator==(const PolicyCounters&, const PolicyCounters&) = default;
 };
 
+// Which PolicyCounters field a recorded mutation touched. Only the fields a
+// uniprocessor policy callback can reach appear here: the MP-only fields
+// (migrations, admission_rejections) are maintained by the cluster host, not
+// by policy code, so they can never show up in a recorded effect stream.
+enum class PolicyCounterField : uint8_t {
+  kSpeedRequests,
+  kSpeedTransitions,
+  kSlackCompletions,
+  kSlackReclaimedMs,
+  kDeferralDecisions,
+  kWorkDeferredMs,
+  kUtilizationSamples,
+  kUtilizationSum,
+};
+
+// One recorded counter mutation: integer fields always increment by exactly
+// 1 (value is ignored on replay), double fields add `value`. The simulator's
+// hyperperiod replay stores these per mutation — not per-window deltas —
+// because floating-point addition is not associative: replaying the exact
+// addend sequence is the only way the replayed sums stay bit-identical to
+// the stepped path.
+struct PolicyCounterEffect {
+  PolicyCounterField field;
+  double value = 0;
+};
+
 class JsonValue;
 
 // One shared serialization for sweep cells, rtdvs-sim --json, and MP slice

@@ -56,6 +56,7 @@ class ContextBuilder {
     ctx->cumulative_work = totals.work;
     const size_t n = static_cast<size_t>(tasks_->size());
     ctx->views.resize(n);
+    chosen_release_.resize(n);
     for (size_t id = 0; id < n; ++id) {
       auto& view = ctx->views[id];
       const TaskSnapshot snap = snapshot(static_cast<int>(id));
@@ -65,6 +66,7 @@ class ContextBuilder {
       view.worst_case_remaining = 0;
       view.cumulative_executed = snap.cumulative_executed;
       view.last_actual_work = snap.last_actual_work;
+      chosen_release_[id] = kInf;
     }
     // Earliest unfinished job per task defines the "current invocation".
     // Track the chosen job's release explicitly: comparing a candidate's
@@ -72,7 +74,6 @@ class ContextBuilder {
     // periodic jobs (deadline = release + period) but resolves wrongly for
     // backlogged tasks under MissPolicy::kContinueLate and for CBS
     // replacement jobs, whose release/deadline ordering differs.
-    chosen_release_.assign(n, kInf);
     for (const auto& job : jobs) {
       if (job.finished) {
         continue;

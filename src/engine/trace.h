@@ -51,6 +51,15 @@ class Trace {
   void set_capacity_limit(size_t max_segments) { max_segments_ = max_segments; }
   bool truncated() const { return truncated_; }
 
+  // Pre-sizes the backing vectors (recording hosts call this once per run).
+  // Purely an allocation hint: the capacity LIMIT and the truncation
+  // accounting are untouched — a reserve beyond max_segments_ still
+  // truncates at exactly max_segments_ segments.
+  void Reserve(size_t segments, size_t events) {
+    segments_.reserve(segments);
+    events_.reserve(events);
+  }
+
   const std::vector<TraceSegment>& segments() const { return segments_; }
   const std::vector<TraceEvent>& events() const { return events_; }
 

@@ -107,6 +107,31 @@ void PerTaskModel::set_fallback(std::unique_ptr<ExecTimeModel> fallback) {
   fallback_ = std::move(fallback);
 }
 
+bool PerTaskModel::stationary() const {
+  for (const auto& model : models_) {
+    if (!model->stationary()) {
+      return false;
+    }
+  }
+  return fallback_->stationary();
+}
+
+std::optional<double> PerTaskModel::constant_fraction() const {
+  // Constant only when every delegate agrees on one value (the common case
+  // is scenario files giving every task const(1)).
+  std::optional<double> common = fallback_->constant_fraction();
+  if (!common.has_value()) {
+    return std::nullopt;
+  }
+  for (const auto& model : models_) {
+    std::optional<double> f = model->constant_fraction();
+    if (!f.has_value() || *f != *common) {
+      return std::nullopt;
+    }
+  }
+  return common;
+}
+
 double PerTaskModel::DrawFraction(int task_id, int64_t invocation, Pcg32& rng) {
   RTDVS_CHECK_GE(task_id, 0);
   if (static_cast<size_t>(task_id) >= models_.size()) {
@@ -127,6 +152,17 @@ TableFractionModel::TableFractionModel(std::vector<std::vector<double>> fraction
 }
 
 std::string TableFractionModel::name() const { return "table"; }
+
+bool TableFractionModel::stationary() const {
+  // A single-column row repeats the same fraction forever; any longer row
+  // makes early invocations differ from the steady state.
+  for (const auto& row : fractions_by_task_) {
+    if (row.size() > 1) {
+      return false;
+    }
+  }
+  return true;
+}
 
 double TableFractionModel::DrawFraction(int task_id, int64_t invocation, Pcg32& rng) {
   (void)rng;

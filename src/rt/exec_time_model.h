@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,22 @@ class ExecTimeModel {
   // Fraction of WCET in (0, 1] required by invocation `invocation` of task
   // `task_id`. May consume randomness from `rng`.
   virtual double DrawFraction(int task_id, int64_t invocation, Pcg32& rng) = 0;
+
+  // When every draw returns the same value regardless of task, invocation
+  // and RNG, that value; otherwise nullopt. Hosts cache it once per run to
+  // skip the virtual draw on the release hot path — bit-identical because
+  // the model's DrawFraction returns exactly this value and consumes no
+  // randomness.
+  virtual std::optional<double> constant_fraction() const {
+    return std::nullopt;
+  }
+
+  // True when DrawFraction is a pure function of task_id alone: identical
+  // for every invocation of a task and consuming no randomness. This is the
+  // precondition for the simulator's hyperperiod memoization (the workload
+  // over cycle k+1 must repeat cycle k exactly); see
+  // src/sim/simulator.h FastPathOptions. Conservative false by default.
+  virtual bool stationary() const { return false; }
 };
 
 // Every invocation uses exactly `fraction` of its worst case (Fig 12 uses
@@ -31,6 +48,8 @@ class ConstantFractionModel : public ExecTimeModel {
   explicit ConstantFractionModel(double fraction);
   std::string name() const override;
   double DrawFraction(int task_id, int64_t invocation, Pcg32& rng) override;
+  std::optional<double> constant_fraction() const override { return fraction_; }
+  bool stationary() const override { return true; }
 
  private:
   double fraction_;
@@ -88,6 +107,11 @@ class PerTaskModel : public ExecTimeModel {
   explicit PerTaskModel(std::vector<std::unique_ptr<ExecTimeModel>> models);
   std::string name() const override;
   double DrawFraction(int task_id, int64_t invocation, Pcg32& rng) override;
+  // Stationary when every per-task model (and the fallback) is; the draws
+  // still differ BETWEEN tasks, so constant_fraction() stays nullopt unless
+  // delegation is trivial.
+  bool stationary() const override;
+  std::optional<double> constant_fraction() const override;
 
   // Tasks beyond the configured list (e.g. an auto-appended server task)
   // fall back to this; the default is "always worst case".
@@ -106,6 +130,7 @@ class TableFractionModel : public ExecTimeModel {
   explicit TableFractionModel(std::vector<std::vector<double>> fractions_by_task);
   std::string name() const override;
   double DrawFraction(int task_id, int64_t invocation, Pcg32& rng) override;
+  bool stationary() const override;
 
  private:
   std::vector<std::vector<double>> fractions_by_task_;

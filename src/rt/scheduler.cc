@@ -16,34 +16,10 @@ std::string SchedulerKindName(SchedulerKind kind) {
 
 namespace {
 
-// The shared selection loop, parameterized so each scheduler's PickJob
-// override inlines its own comparison (a virtual call per element would
-// dominate the per-step cost for these tiny job vectors).
-template <typename HigherPri>
-size_t PickWith(const std::vector<Job>& jobs, HigherPri&& higher) {
-  size_t best = Scheduler::kNone;
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    if (jobs[i].finished || jobs[i].suspended) {
-      continue;
-    }
-    if (best == Scheduler::kNone || higher(jobs[i], jobs[best])) {
-      best = i;
-    }
-  }
-  return best;
-}
-
-inline bool EdfHigher(const Job& a, const Job& b) {
-  if (a.deadline_ms != b.deadline_ms) {
-    return a.deadline_ms < b.deadline_ms;
-  }
-  if (a.task_id != b.task_id) {
-    return a.task_id < b.task_id;
-  }
-  return a.release_ms < b.release_ms;
-}
-
-inline bool RmHigher(const Job& a, const Job& b, const TaskSet& tasks) {
+// TaskSet-indirected form of RmHigherPriority for the virtual path, which
+// has no dense period cache to hand over.
+inline bool PeriodHigherPriority(const Job& a, const Job& b,
+                                 const TaskSet& tasks) {
   double pa = tasks.task(a.task_id).period_ms;
   double pb = tasks.task(b.task_id).period_ms;
   if (pa != pb) {
@@ -75,24 +51,24 @@ size_t Scheduler::PickJob(const std::vector<Job>& jobs, const TaskSet& tasks) co
 bool EdfScheduler::HigherPriority(const Job& a, const Job& b,
                                   const TaskSet& tasks) const {
   (void)tasks;
-  return EdfHigher(a, b);
+  return EdfHigherPriority(a, b);
 }
 
 size_t EdfScheduler::PickJob(const std::vector<Job>& jobs,
                              const TaskSet& tasks) const {
   (void)tasks;
-  return PickWith(jobs, EdfHigher);
+  return PickJobWith(jobs, EdfComparator{});
 }
 
 bool RmScheduler::HigherPriority(const Job& a, const Job& b,
                                  const TaskSet& tasks) const {
-  return RmHigher(a, b, tasks);
+  return PeriodHigherPriority(a, b, tasks);
 }
 
 size_t RmScheduler::PickJob(const std::vector<Job>& jobs,
                             const TaskSet& tasks) const {
-  return PickWith(jobs, [&tasks](const Job& a, const Job& b) {
-    return RmHigher(a, b, tasks);
+  return PickJobWith(jobs, [&tasks](const Job& a, const Job& b) {
+    return PeriodHigherPriority(a, b, tasks);
   });
 }
 

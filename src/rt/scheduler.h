@@ -21,6 +21,66 @@ enum class SchedulerKind {
 
 std::string SchedulerKindName(SchedulerKind kind);
 
+// The priority comparisons and the shared selection loop, inline so hosts
+// that know the scheduler kind statically (the simulator's event loop is
+// templated on it) select with zero virtual dispatch per step. The virtual
+// Scheduler interface below routes through the same functions, so the two
+// paths cannot drift.
+inline bool EdfHigherPriority(const Job& a, const Job& b) {
+  if (a.deadline_ms != b.deadline_ms) {
+    return a.deadline_ms < b.deadline_ms;
+  }
+  if (a.task_id != b.task_id) {
+    return a.task_id < b.task_id;
+  }
+  return a.release_ms < b.release_ms;
+}
+
+// RM compares task periods; `periods` is a dense task-id-indexed array (the
+// hosts' SoA period cache) so the comparison never gathers from the Task
+// struct on the hot path.
+inline bool RmHigherPriority(const Job& a, const Job& b, const double* periods) {
+  double pa = periods[a.task_id];
+  double pb = periods[b.task_id];
+  if (pa != pb) {
+    return pa < pb;
+  }
+  if (a.task_id != b.task_id) {
+    return a.task_id < b.task_id;
+  }
+  return a.release_ms < b.release_ms;
+}
+
+struct EdfComparator {
+  bool operator()(const Job& a, const Job& b) const {
+    return EdfHigherPriority(a, b);
+  }
+};
+
+struct RmComparator {
+  const double* periods;  // dense, indexed by task id
+  bool operator()(const Job& a, const Job& b) const {
+    return RmHigherPriority(a, b, periods);
+  }
+};
+
+// Selection loop shared by every pick path: highest-priority unfinished,
+// unsuspended job; ties resolve to the lowest index.
+template <typename HigherPri>
+inline size_t PickJobWith(const std::vector<Job>& jobs, HigherPri&& higher) {
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t best = kNone;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].finished || jobs[i].suspended) {
+      continue;
+    }
+    if (best == kNone || higher(jobs[i], jobs[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;

@@ -1,0 +1,243 @@
+#include "src/sim/hyperperiod.h"
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "src/util/check.h"
+#include "src/util/time_eps.h"
+
+namespace rtdvs {
+
+namespace {
+
+// Recording cap per window: a candidate whose window needs more steps than
+// this is not worth memoizing (the recording itself would dominate), so the
+// memo disarms instead of growing without bound.
+constexpr size_t kMaxRecordedSteps = 1u << 16;
+
+bool SameBits(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+}  // namespace
+
+bool HyperperiodMemo::OnDyadicGrid(double v) {
+  if (!(v >= 0.0) || v > kMaxExactMagnitudeMs) {
+    return false;
+  }
+  const double scaled = v * kDyadicGridPerMs;  // exact: magnitude <= 2^43
+  return scaled == std::floor(scaled);
+}
+
+bool HyperperiodMemo::IsExactFrequency(double f) {
+  if (!(f > 0.0) || f > 1.0) {
+    return false;
+  }
+  int exponent = 0;
+  return std::frexp(f, &exponent) == 0.5 && exponent >= -9;  // f >= 2^-10
+}
+
+std::optional<double> HyperperiodMemo::HyperperiodMs(const TaskSet& tasks,
+                                                     int64_t max_units) {
+  int64_t lcm_units = 1;
+  for (int id = 0; id < tasks.size(); ++id) {
+    const double period_units = tasks.task(id).period_ms * kDyadicGridPerMs;
+    const auto p = static_cast<int64_t>(std::llround(period_units));
+    if (p <= 0 || period_units != static_cast<double>(p)) {
+      return std::nullopt;  // off the dyadic grid
+    }
+    const int64_t g = std::gcd(lcm_units, p);
+    const int64_t stride = lcm_units / g;
+    if (stride > max_units / p) {
+      return std::nullopt;  // LCM over the bound
+    }
+    lcm_units = stride * p;
+  }
+  // Exact: an integer under 2^53 divided by a power of two.
+  return static_cast<double>(lcm_units) / kDyadicGridPerMs;
+}
+
+void HyperperiodMemo::Arm(double hyperperiod_ms, double horizon_ms,
+                          FastPathStats* stats) {
+  RTDVS_CHECK(mode_ == Mode::kOff);
+  RTDVS_CHECK_GT(hyperperiod_ms, 0.0);
+  RTDVS_CHECK(stats != nullptr);
+  mode_ = Mode::kWarmup;
+  h_ms_ = hyperperiod_ms;
+  horizon_ms_ = horizon_ms;
+  window_start_ = 0;
+  next_boundary_ = hyperperiod_ms;
+  stats_ = stats;
+}
+
+void HyperperiodMemo::Window::Clear() {
+  steps.clear();
+  effects.clear();
+  speed_requests.clear();
+}
+
+bool HyperperiodMemo::Window::BitwiseEqual(const Window& other) const {
+  if (steps.size() != other.steps.size() ||
+      effects.size() != other.effects.size() ||
+      speed_requests != other.speed_requests) {
+    return false;
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Step& a = steps[i];
+    const Step& b = other.steps[i];
+    if (!SameBits(a.offset_ms, b.offset_ms) || a.pick_task != b.pick_task ||
+        a.effects_begin != b.effects_begin || a.effects_end != b.effects_end ||
+        a.speed_begin != b.speed_begin || a.speed_end != b.speed_end) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < effects.size(); ++i) {
+    if (effects[i].field != other.effects[i].field ||
+        !SameBits(effects[i].value, other.effects[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void HyperperiodMemo::Disarm(const char* reason, DvsPolicy* policy,
+                             ModeledSpeedController* speed) {
+  mode_ = Mode::kDone;
+  stats_->hyperperiod_gate = reason;
+  policy->set_counter_tap(nullptr);
+  speed->set_request_tap(nullptr);
+}
+
+void HyperperiodMemo::BeginWindow(size_t index, double start_ms,
+                                  DvsPolicy* policy,
+                                  ModeledSpeedController* speed) {
+  recording_index_ = index;
+  win_[index].Clear();
+  policy->set_counter_tap(&win_[index].effects);
+  speed->set_request_tap(&win_[index].speed_requests);
+  window_start_ = start_ms;
+  next_boundary_ = start_ms + h_ms_;
+  effects_mark_ = 0;
+  speed_mark_ = 0;
+}
+
+void HyperperiodMemo::ReplayStep(double now_ms, int pick_task,
+                                 DvsPolicy* policy,
+                                 ModeledSpeedController* speed,
+                                 const MachineSpec& machine) {
+  const Window& window = win_[1];
+  RTDVS_CHECK_LT(replay_step_, window.steps.size())
+      << "hyperperiod replay ran past its recorded window at t=" << now_ms;
+  const Step& step = window.steps[replay_step_];
+  // Fail stop, never fail wrong: a divergence here means the verified
+  // repetition broke down in a later window (the policy already missed its
+  // callbacks, so the run cannot be resumed on the stepped path). The
+  // bitwise two-window verification makes this unreachable for the
+  // exact-arithmetic workloads that engage replay.
+  RTDVS_CHECK(SameBits(now_ms - window_start_, step.offset_ms))
+      << "hyperperiod replay time diverged from the verified recording: step "
+      << replay_step_ << " expected offset " << step.offset_ms << " got "
+      << (now_ms - window_start_);
+  RTDVS_CHECK_EQ(pick_task, step.pick_task)
+      << "hyperperiod replay schedule diverged from the verified recording "
+         "at t="
+      << now_ms;
+  for (uint32_t i = step.effects_begin; i < step.effects_end; ++i) {
+    policy->ApplyCounterEffect(window.effects[i]);
+  }
+  for (uint32_t i = step.speed_begin; i < step.speed_end; ++i) {
+    speed->SetOperatingPoint(
+        machine.points()[static_cast<size_t>(window.speed_requests[i])]);
+  }
+  ++replay_step_;
+  stats_->steps_replayed += 1;
+}
+
+HyperperiodMemo::StepAction HyperperiodMemo::OnStepEnd(
+    double now_ms, int pick_task, DvsPolicy* policy,
+    ModeledSpeedController* speed) {
+  // Finalize the step record first: the step that lands on a boundary is the
+  // closing step of the window being recorded, taps still bound to it.
+  if (mode_ == Mode::kRecordFirst || mode_ == Mode::kRecordSecond) {
+    Window& window = win_[recording_index_];
+    if (window.steps.size() >= kMaxRecordedSteps) {
+      Disarm("hyperperiod window exceeds the recording cap", policy, speed);
+      return StepAction::kNone;
+    }
+    Step step;
+    step.offset_ms = now_ms - window_start_;
+    step.pick_task = pick_task;
+    step.effects_begin = effects_mark_;
+    step.effects_end = static_cast<uint32_t>(window.effects.size());
+    step.speed_begin = speed_mark_;
+    step.speed_end = static_cast<uint32_t>(window.speed_requests.size());
+    effects_mark_ = step.effects_end;
+    speed_mark_ = step.speed_end;
+    window.steps.push_back(step);
+  }
+
+  if (now_ms < next_boundary_ - kTimeEpsMs) {
+    return StepAction::kNone;  // still inside the window
+  }
+  if (now_ms > next_boundary_ + kTimeEpsMs) {
+    // No step landed on the boundary: some event jumped it (horizon clamp,
+    // drifting release arithmetic). Repetition is unverifiable, stop trying.
+    Disarm("no step landed on a hyperperiod boundary", policy, speed);
+    return StepAction::kNone;
+  }
+
+  switch (mode_) {
+    case Mode::kWarmup:
+      BeginWindow(0, now_ms, policy, speed);
+      mode_ = Mode::kRecordFirst;
+      break;
+    case Mode::kRecordFirst:
+      BeginWindow(1, now_ms, policy, speed);
+      mode_ = Mode::kRecordSecond;
+      break;
+    case Mode::kRecordSecond:
+      policy->set_counter_tap(nullptr);
+      speed->set_request_tap(nullptr);
+      if (!win_[0].BitwiseEqual(win_[1])) {
+        Disarm("consecutive hyperperiod windows not bitwise identical",
+               policy, speed);
+        break;
+      }
+      stats_->hyperperiod_cycles_verified += 2;
+      if (now_ms + h_ms_ < horizon_ms_ - kTimeEpsMs) {
+        // Replay only windows that end strictly before the horizon: the
+        // closing step of a horizon-clamped window would break out of the
+        // loop before its callbacks, which the recording cannot express.
+        mode_ = Mode::kReplay;
+        replay_step_ = 0;
+        window_start_ = now_ms;
+        next_boundary_ = now_ms + h_ms_;
+      } else {
+        mode_ = Mode::kDone;  // verified, but no whole window left
+      }
+      break;
+    case Mode::kReplay:
+      RTDVS_CHECK_EQ(replay_step_, win_[1].steps.size())
+          << "hyperperiod replay window closed early at t=" << now_ms;
+      stats_->hyperperiod_cycles_replayed += 1;
+      if (now_ms + h_ms_ < horizon_ms_ - kTimeEpsMs) {
+        replay_step_ = 0;
+        window_start_ = now_ms;
+        next_boundary_ = now_ms + h_ms_;
+      } else {
+        mode_ = Mode::kDone;
+        return StepAction::kResyncPolicy;
+      }
+      break;
+    case Mode::kOff:
+    case Mode::kDone:
+      break;
+  }
+  return StepAction::kNone;
+}
+
+}  // namespace rtdvs

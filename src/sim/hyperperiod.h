@@ -1,0 +1,164 @@
+// Hyperperiod memoization for the queue-free simulator loop (the second
+// analytic fast path of ROADMAP item 2).
+//
+// For a strictly periodic task set with all phases zero, every multiple of
+// the hyperperiod H = lcm(P_1..P_n) is an all-task release boundary. With a
+// stationary execution-time model (per-task constant fractions) and a policy
+// whose state is rebuilt at such boundaries (DvsPolicy::supports_time_skip),
+// the simulation is a candidate for exact repetition: window k+1 replays
+// window k shifted by H.
+//
+// Floating point makes "candidate" load-bearing. Absolute-time arithmetic is
+// not translation invariant — fl(B + q) - B can change across binades, and
+// release times accumulate rounding through repeated `+= period_ms` — and
+// two windows agreeing bitwise does NOT imply the third will (observed in
+// practice: non-dyadic periods pass a two-window comparison and drift a low
+// bit in window three). Repetition therefore rests on three rails:
+//   1. A static exact-arithmetic gate (Simulator::ArmHyperperiod): dyadic
+//      task parameters on the 2^-20 ms grid, power-of-two machine
+//      frequencies, bounded horizon — conditions under which the run's
+//      time/work additions and frequency scalings are exact, making windows
+//      genuinely translation invariant.
+//   2. Two consecutive whole windows recorded (boundary-relative step
+//      offsets, picked task, the policy's externally visible effects) and
+//      compared bitwise, offsets included; replay engages only on equality.
+//   3. A per-replayed-step re-check of offset and pick against the
+//      recording (fail stop, below).
+// Realistic random workloads (e.g. the paper-sweep 1 µs-grid periods) fail
+// rail 1 and simply run the stepped path — the fast path then costs one
+// gate evaluation and is trivially bit-identical. Exact-arithmetic
+// workloads (dyadic periods/WCETs, e.g. 2/4/8 ms on a 0.5/1.0 machine)
+// verify and engage.
+//
+// Replay is deliberately conservative: every step still executes the real
+// pick and the real segment/energy/release/completion arithmetic (those are
+// cheap and authoritative); what it skips is PolicyContext construction and
+// the policy callbacks, whose recorded effects — speed requests by machine
+// point index, counter mutations by individual addend — are applied instead.
+// Per-window counter deltas would NOT be faithful (FP addition is not
+// associative), which is why effects are recorded per mutation. Each
+// replayed step re-checks its boundary-relative offset and picked task
+// against the recording; a mismatch is unrecoverable mid-window (the policy
+// missed its callbacks) and fails stop via RTDVS_CHECK rather than ever
+// producing a silently different result.
+#ifndef SRC_SIM_HYPERPERIOD_H_
+#define SRC_SIM_HYPERPERIOD_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/cpu/machine_spec.h"
+#include "src/dvs/policy.h"
+#include "src/engine/speed_controller.h"
+#include "src/rt/task.h"
+#include "src/sim/metrics.h"
+
+namespace rtdvs {
+
+class HyperperiodMemo {
+ public:
+  enum class Mode : uint8_t {
+    kOff,           // never armed (gate failed or fast path disabled)
+    kWarmup,        // armed; waiting out the boot window (0, H]
+    kRecordFirst,   // recording window (H, 2H]
+    kRecordSecond,  // recording window (2H, 3H]
+    kReplay,        // verified; replaying whole windows
+    kDone,          // disarmed mid-run or out of whole windows
+  };
+
+  // What the caller must do after OnStepEnd.
+  enum class StepAction : uint8_t {
+    kNone,
+    // Replay just consumed its last whole window: rebuild the context at
+    // now_ and deliver DvsPolicy::OnTimeSkip before stepping on.
+    kResyncPolicy,
+  };
+
+  // The dyadic time grid the exact-arithmetic gate requires: all task
+  // parameters must be integer multiples of 2^-20 ms (and magnitudes must
+  // stay under kMaxExactMagnitudeMs = 2^23 ms) so that every release /
+  // deadline / boundary addition in the run is exact in double precision —
+  // the property that makes hyperperiod windows translation invariant.
+  static constexpr double kDyadicGridPerMs = 1048576.0;  // 2^20
+  static constexpr double kMaxExactMagnitudeMs = 8388608.0;  // 2^23
+
+  // True when `v` is a non-negative multiple of the dyadic grid within the
+  // exact-magnitude bound.
+  static bool OnDyadicGrid(double v);
+  // True when `f` is a power of two in [2^-10, 1]: division and
+  // multiplication by such frequencies only shift exponents, keeping the
+  // completion/work arithmetic exact.
+  static bool IsExactFrequency(double f);
+
+  // The task set's hyperperiod in ms when every period sits on the dyadic
+  // grid and the LCM stays at or under `max_units` grid units; nullopt
+  // otherwise.
+  static std::optional<double> HyperperiodMs(const TaskSet& tasks,
+                                             int64_t max_units);
+
+  // Arms the memo: boundaries at H, 2H, ... with the first whole window
+  // (0, H] as warmup. `stats` receives the verified/replayed counters and
+  // the disarm reason; it must outlive the memo's use.
+  void Arm(double hyperperiod_ms, double horizon_ms, FastPathStats* stats);
+
+  Mode mode() const { return mode_; }
+  // True while the loop must call OnStepEnd (warmup, recording, or replay).
+  bool active() const { return mode_ != Mode::kOff && mode_ != Mode::kDone; }
+  bool replaying() const { return mode_ == Mode::kReplay; }
+
+  // Replay-mode step: verifies the step's boundary-relative offset and
+  // picked task against the recording (RTDVS_CHECK on mismatch — see file
+  // comment), then applies the recorded effects: counter mutations to the
+  // policy, speed requests to the controller. Called at the exact loop
+  // position the policy-callback block occupies on the stepped path.
+  void ReplayStep(double now_ms, int pick_task, DvsPolicy* policy,
+                  ModeledSpeedController* speed, const MachineSpec& machine);
+
+  // End-of-iteration hook: finalizes the step record when recording, and
+  // runs the boundary state machine (start/rotate recordings, verify and
+  // engage replay, retire or disarm). Needs the policy/controller to bind
+  // and unbind the effect taps across transitions.
+  StepAction OnStepEnd(double now_ms, int pick_task, DvsPolicy* policy,
+                       ModeledSpeedController* speed);
+
+ private:
+  // One recorded (or to-be-verified) loop iteration. Ranges index into the
+  // owning window's effect buffers.
+  struct Step {
+    double offset_ms = 0;  // now_ - window_start_ at the end of the step
+    int pick_task = -1;    // running job's task id, -1 when idle
+    uint32_t effects_begin = 0, effects_end = 0;
+    uint32_t speed_begin = 0, speed_end = 0;
+  };
+
+  struct Window {
+    std::vector<Step> steps;
+    std::vector<PolicyCounterEffect> effects;  // counter-mutation tap
+    std::vector<int> speed_requests;           // machine point indices tap
+    void Clear();
+    // Bitwise: double fields compare by bit pattern, not by value.
+    bool BitwiseEqual(const Window& other) const;
+  };
+
+  void Disarm(const char* reason, DvsPolicy* policy,
+              ModeledSpeedController* speed);
+  void BeginWindow(size_t index, double start_ms, DvsPolicy* policy,
+                   ModeledSpeedController* speed);
+
+  Mode mode_ = Mode::kOff;
+  double h_ms_ = 0;
+  double horizon_ms_ = 0;
+  double window_start_ = 0;
+  double next_boundary_ = 0;
+  size_t recording_index_ = 0;  // which of win_ the taps feed
+  size_t replay_step_ = 0;
+  uint32_t effects_mark_ = 0;  // effect-buffer sizes at the last step end
+  uint32_t speed_mark_ = 0;
+  Window win_[2];
+  FastPathStats* stats_ = nullptr;
+};
+
+}  // namespace rtdvs
+
+#endif  // SRC_SIM_HYPERPERIOD_H_

@@ -77,6 +77,7 @@ void AccumulateSlice(const SimResult& slice, const std::vector<int>& global_ids,
   cluster->speed_switches += slice.speed_switches;
   cluster->preemptions += slice.preemptions;
   cluster->policy_counters.MergeFrom(slice.policy_counters);
+  cluster->fastpath.MergeFrom(slice.fastpath);
   cluster->lower_bound_energy += slice.lower_bound_energy;
   for (size_t i = 0; i < slice.residency.size(); ++i) {
     PointResidency& sum = cluster->residency[i];
@@ -288,7 +289,7 @@ class GlobalClusterEngine {
       std::vector<int> core_job(m, -1);  // index into jobs_, -1 = idle core
       {
         RTDVS_PROF_SCOPE("mp/global/dispatch");
-        std::vector<size_t> picked = ready_.PickTopK(jobs_, tasks_, m);
+        const std::vector<size_t>& picked = ready_.PickTopK(jobs_, tasks_, m);
         std::vector<char> placed(picked.size(), 0);
         // Pass 1: a job keeps its previous core when that core is free.
         for (size_t p = 0; p < picked.size(); ++p) {
@@ -622,6 +623,7 @@ JsonValue SliceToJson(const SimResult& slice) {
   out.Set("preemptions", slice.preemptions);
   out.Set("lower_bound_energy", slice.lower_bound_energy);
   out.Set("counters", PolicyCountersToJson(slice.policy_counters));
+  out.Set("fastpath", FastPathStatsToJson(slice.fastpath));
   JsonValue residency = JsonValue::Array();
   for (const PointResidency& res : slice.residency) {
     JsonValue entry = JsonValue::Object();

@@ -34,8 +34,10 @@
 #include "src/rt/aperiodic.h"
 #include "src/rt/exec_time_model.h"
 #include "src/rt/job.h"
+#include "src/rt/job_pool.h"
 #include "src/rt/scheduler.h"
 #include "src/rt/task.h"
+#include "src/sim/hyperperiod.h"
 #include "src/sim/metrics.h"
 
 namespace rtdvs {
@@ -46,6 +48,25 @@ enum class MissPolicy {
   kContinueLate,
   // Abandon remaining work at the deadline (firm real-time semantics).
   kAbortJob,
+};
+
+// Analytic fast paths (ROADMAP item 2). Both default on: every fast path is
+// bit-identical to the stepped path by construction — forced-off runs exist
+// for the equivalence suite (tests/sim/fastpath_test.cc) and for debugging,
+// not because results differ. See DESIGN.md "Hot-path fast paths" for when
+// each path disarms itself at runtime.
+struct FastPathOptions {
+  // Closed-form idle-interval skipping: with no runnable job (and no
+  // aperiodic server), jump straight to the next release/timer wakeup and
+  // charge the idle time/energy as one EnergyAccountant segment.
+  bool idle_skip = true;
+  // Hyperperiod memoization: once the scheduler+policy decision sequence
+  // over one whole hyperperiod is verified to repeat exactly, fast-forward
+  // the remaining whole cycles by replaying the recorded decisions (the
+  // same segment arithmetic, minus scheduling and policy work). Arms only
+  // for stationary exec models, non-timer-driven policies, no trace, no
+  // server; see Simulator::HyperperiodGate.
+  bool hyperperiod = true;
 };
 
 struct SimOptions {
@@ -66,6 +87,14 @@ struct SimOptions {
   bool audit = true;
   // Seed for the execution-time model's randomness.
   uint64_t seed = 1;
+  // Analytic fast paths; results are bit-identical for every setting
+  // (SimResult::fastpath records the coverage).
+  FastPathOptions fast_paths;
+  // Optional arena recycling the job vector's heap block across runs on one
+  // thread (src/rt/job_pool.h); the sweep runner wires each worker thread's
+  // pool in. Null = plain per-run allocation. Results are identical either
+  // way (capacity is not observable).
+  JobPool* job_pool = nullptr;
   // Turn on the process-global RTDVS_PROF_SCOPE profiler for this run; span
   // aggregates are flushed at the end of Run() and surface via
   // Profiler::Drain() (rtdvs-sim --profile wires this). Off: each span
@@ -99,6 +128,31 @@ class Simulator {
     double last_actual_work = 0;  // defaults to C_i
   };
 
+  // The event loop, instantiated once per (host mode, scheduler kind).
+  // kServer == true is the aperiodic-server configuration: it keeps the
+  // event queue (server deadlines track no release) and the per-step server
+  // bookkeeping. kServer == false is the pure-periodic configuration every
+  // sweep and bench runs: the only queued events would be releases and the
+  // policy timer, both of which derive from O(num_tasks) state the
+  // simulator already owns — so this instantiation runs queue-free (next
+  // event = min over task next_release, plus the single pending wakeup) and
+  // hosts the idle-skip and hyperperiod fast paths. kKind statically
+  // selects the priority comparator (src/rt/scheduler.h) so the per-step
+  // pick runs with zero virtual dispatch; RM compares through periods_.
+  template <bool kServer, SchedulerKind kKind>
+  void RunLoop();
+  // Evaluates the hyperperiod fast path's static gate (stationary exec
+  // model, time-skippable policy, all phases zero, µs-grid periods with a
+  // bounded LCM, horizon covering warmup + two recorded windows + at least
+  // one replayable window) and arms hp_ when it passes; otherwise records
+  // the first failing condition in result_.fastpath.hyperperiod_gate.
+  void ArmHyperperiod();
+  // Queue-free mode: earliest pending periodic release across all tasks.
+  double NextPeriodicReleaseMs() const;
+  // Queue-free mode: fills due_releases_ (task-id order, the same order the
+  // event-queue path produces after its sort) with every task whose next
+  // release is due at now_.
+  void CollectDueReleases();
   // Creates all invocations due at `now` for the tasks in due_releases_
   // (set by ConsumeDueEvents), queueing each new job's deadline event and
   // the task's next release event.
@@ -157,6 +211,28 @@ class Simulator {
   uint64_t timer_generation_ = 0;
   std::optional<double> queued_wakeup_;
   std::vector<int> due_releases_;
+  // False in the queue-free (no-server) loop: events_ / deadline_live_ stay
+  // untouched and scheduling points derive from task state directly.
+  bool use_events_ = false;
+  // Cached policy_->timer_driven(): gates every NextWakeupMs/OnWakeup call.
+  bool timer_driven_ = false;
+  // Jobs in jobs_ with finished == false, maintained incrementally so the
+  // idle transition needs no per-step scan.
+  int64_t unfinished_count_ = 0;
+  // Per-step scratch, hoisted out of the loop (a per-step heap allocation
+  // for each was the largest single cost in the profiled step).
+  std::vector<int> completed_;
+  std::vector<int> released_;
+  std::vector<int> completed_after_release_;
+  // Dense SoA period cache (indexed by task id) feeding the RM comparator;
+  // avoids gathering period_ms through the Task struct every comparison.
+  std::vector<double> periods_;
+  // Cached ExecTimeModel::constant_fraction(): skips the virtual draw per
+  // release for constant models (bit-identical by that method's contract).
+  std::optional<double> const_fraction_;
+  // Hyperperiod record/verify/replay state machine (src/sim/hyperperiod.h);
+  // inert (Mode::kOff) unless ArmHyperperiod's gate passes.
+  HyperperiodMemo hp_;
 
   std::optional<AperiodicServerState> aperiodic_;
   int server_task_id_ = -1;

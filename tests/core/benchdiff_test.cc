@@ -217,6 +217,45 @@ TEST(DiffBenchDocsTest, ThresholdOverrideTightensOneMetric) {
   EXPECT_TRUE(report.hard_fail);
 }
 
+TEST(DiffBenchDocsTest, StarPatternScopesOverrideToOneBench) {
+  // -20%: inside the wide 0.5 default override, outside the tight 0.1
+  // fig09-scoped one. The '*' pattern must pin the tight band to fig09
+  // and leave fig10 on the wide band.
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}})),
+      Extract(MakeDoc("fig10", "h", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 800.0}})),
+      Extract(MakeDoc("fig10", "h", {{"sims_per_sec", 800.0}}))};
+  DiffOptions options;
+  options.threshold_overrides = {{"fig09*sims_per_sec", 0.1},
+                                 {"sims_per_sec", 0.5}};
+  DiffReport report = DiffBenchDocs(base, cand, options);
+  EXPECT_EQ(report.regressed, 1);
+  EXPECT_TRUE(report.hard_fail);
+  for (const auto& delta : report.deltas) {
+    if (delta.verdict == DeltaVerdict::kRegressed) {
+      EXPECT_NE(delta.key.find("fig09"), std::string::npos) << delta.key;
+    }
+  }
+}
+
+TEST(DiffBenchDocsTest, StarPatternSubstringsMustAppearInOrder) {
+  // "sims_per_sec*fig09" reversed never matches "fig09/.../sims_per_sec",
+  // so the tight band does not apply and the -20% dip stays within the
+  // wide default override.
+  std::vector<BenchDoc> base = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}}))};
+  std::vector<BenchDoc> cand = {
+      Extract(MakeDoc("fig09", "h", {{"sims_per_sec", 800.0}}))};
+  DiffOptions options;
+  options.threshold_overrides = {{"sims_per_sec*fig09", 0.1},
+                                 {"sims_per_sec", 0.5}};
+  DiffReport report = DiffBenchDocs(base, cand, options);
+  EXPECT_EQ(report.regressed, 0);
+  EXPECT_FALSE(report.hard_fail);
+}
+
 TEST(DiffBenchDocsTest, MissingMetricIsRegressionLevel) {
   std::vector<BenchDoc> base = {Extract(
       MakeDoc("fig09", "h", {{"sims_per_sec", 1000.0}, {"extra", 1.0}}))};

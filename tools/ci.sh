@@ -89,12 +89,14 @@ stage_bench_json() {
 run_gate_benches() {
   local builddir="$1" outdir="$2" mode="${3:-quick}"
   mkdir -p "$outdir"
-  local q=() sq=()
+  # --repeat 3 re-times each configuration and reports the best-of run, so
+  # the throughput metrics benchdiff gates on are not first-run noise.
+  local q=(--repeat 3) sq=(--repeat 3)
   if [[ "$mode" == quick ]]; then
-    q=(--quick)
+    q=(--quick --repeat 3)
     # --max-jobs 2 keeps the jobs grid {1,2} on every host, so the metric
     # keys are host-independent.
-    sq=(--quick --max-jobs 2)
+    sq=(--quick --max-jobs 2 --repeat 3)
   fi
   "$builddir"/bench/bench_fig09_num_tasks "${q[@]}" \
     --json="$outdir/BENCH_fig09_num_tasks.json" >/dev/null
@@ -119,10 +121,14 @@ stage_benchdiff() {
   run_gate_benches build-ci-plain "$out/fresh" "$mode"
   # Deterministic metrics (normalized energy, misses, violations) keep the
   # tight default threshold; wall-clock metrics get wide overrides so a
-  # loaded runner does not fail the gate on noise. Cross-host runs (any
-  # provenance mismatch vs the committed baselines) downgrade to warnings.
+  # loaded runner does not fail the gate on noise. Exception: fig09
+  # throughput is the hot-path headline number, so it gets a tight 10%
+  # no-regress band (first matching override wins; the '*' joins ordered
+  # substrings, scoping the override to the fig09 bench only). Cross-host
+  # runs (any provenance mismatch vs the committed baselines) downgrade to
+  # warnings.
   build-ci-plain/tools/rtdvs-benchdiff bench/baselines "$out/fresh" \
-    --overrides=sims_per_sec=0.5,shards_per_sec=0.5,speedup=0.5,efficiency=0.5,_ms=0.6,elapsed=0.6 \
+    --overrides="fig09*sims_per_sec=0.1,sims_per_sec=0.5,shards_per_sec=0.5,speedup=0.5,efficiency=0.5,_ms=0.6,elapsed=0.6" \
     --md-out="$out/report.md" --json-out="$out/report.json"
   # Self-check (cf. rtdvs-fuzz --inject-bug): the same inputs with a
   # synthetic 2x throughput regression injected MUST fail — proving the
